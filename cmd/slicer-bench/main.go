@@ -1,0 +1,100 @@
+// Command slicer-bench regenerates the paper's evaluation tables and
+// figures (and this repository's ablation experiments) on the local
+// machine.
+//
+// Usage:
+//
+//	slicer-bench                     # run everything at quick scale
+//	slicer-bench -exp fig3a,fig3b    # run selected experiments
+//	slicer-bench -scale full         # the paper's 10K-160K sweep (slow)
+//	slicer-bench -list               # list experiment IDs
+//
+// Results print as aligned text tables; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"slicer/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slicer-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expFlag    = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scaleFlag  = flag.String("scale", "quick", "sweep scale: quick or full")
+		formatFlag = flag.String("format", "text", "output format: text, csv or markdown")
+		listFlag   = flag.Bool("list", false, "list experiment IDs and exit")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	var render func(*bench.Table)
+	switch *formatFlag {
+	case "text":
+		render = func(t *bench.Table) { t.Fprint(os.Stdout) }
+	case "csv":
+		render = func(t *bench.Table) { t.FprintCSV(os.Stdout) }
+	case "markdown":
+		render = func(t *bench.Table) { t.FprintMarkdown(os.Stdout) }
+	default:
+		return fmt.Errorf("unknown -format %q (want text, csv or markdown)", *formatFlag)
+	}
+
+	if *listFlag {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	scale, err := bench.ScaleByName(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	runner := bench.NewRunner(scale)
+	if !*quiet {
+		runner.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  ... "+format+"\n", args...)
+		}
+	}
+
+	var selected []bench.Experiment
+	if *expFlag == "" {
+		selected = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := bench.Find(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("slicer-bench: %d experiment(s) at %s scale\n\n", len(selected), scale.Name)
+	start := time.Now()
+	for _, e := range selected {
+		expStart := time.Now()
+		table, err := e.Run(runner)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		render(table)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  [%s done in %s]\n", e.ID, time.Since(expStart).Round(time.Millisecond))
+		}
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,445 @@
+// Command slicer-cli drives a distributed Slicer deployment from the data
+// owner / data user side: it builds the encrypted database, initializes a
+// remote cloud (slicer-cloud) and chain (slicer-chain), and runs verified
+// searches with on-chain fair-exchange settlement.
+//
+// Typical session (cloud on :7401, chain on :7402):
+//
+//	slicer-cli init   -bits 16 -random 1000
+//	slicer-cli status
+//	slicer-cli search -op '<' -value 5000 -pay 1000
+//	slicer-cli insert -values 2001=4242,2002=100
+//	slicer-cli search -op '=' -value 4242 -pay 1000
+//
+// State (all deployment secrets!) persists in -state (default
+// ./slicer-state.json).
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"slicer/internal/chain"
+	"slicer/internal/contract"
+	"slicer/internal/core"
+	"slicer/internal/wire"
+	"slicer/internal/workload"
+
+	"encoding/json"
+)
+
+// cliState is what persists between invocations.
+type cliState struct {
+	Owner        json.RawMessage `json:"owner"`
+	CloudAddr    string          `json:"cloudAddr"`
+	ChainAddr    string          `json:"chainAddr"`
+	ContractAddr chain.Address   `json:"contractAddr"`
+	OwnerAcct    chain.Address   `json:"ownerAcct"`
+	UserAcct     chain.Address   `json:"userAcct"`
+	CloudAcct    chain.Address   `json:"cloudAcct"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slicer-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: slicer-cli <init|insert|search|status> [flags]")
+	}
+	switch args[0] {
+	case "init":
+		return cmdInit(args[1:])
+	case "insert":
+		return cmdInsert(args[1:])
+	case "search":
+		return cmdSearch(args[1:])
+	case "status":
+		return cmdStatus(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want init, insert, search or status)", args[0])
+	}
+}
+
+func commonFlags(fs *flag.FlagSet) (statePath, cloudAddr, chainAddr *string) {
+	statePath = fs.String("state", "slicer-state.json", "path of the persisted deployment state")
+	cloudAddr = fs.String("cloud", "127.0.0.1:7401", "cloud server address")
+	chainAddr = fs.String("chain", "127.0.0.1:7402", "chain server address")
+	return
+}
+
+func loadState(path string) (*cliState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read state (did you run init?): %w", err)
+	}
+	var st cliState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("parse state: %w", err)
+	}
+	return &st, nil
+}
+
+func saveState(path string, st *cliState) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	// The blob holds all deployment secrets; keep it owner-readable only.
+	return os.WriteFile(path, data, 0o600)
+}
+
+func parseRecords(random int, bits int, values string, firstSeed int64) ([]core.Record, error) {
+	if random > 0 {
+		return workload.Generate(workload.Config{N: random, Bits: bits, Seed: firstSeed}), nil
+	}
+	if values == "" {
+		return nil, fmt.Errorf("provide -random N or -values id=value,...")
+	}
+	var records []core.Record
+	for _, pair := range strings.Split(values, ",") {
+		parts := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad record %q (want id=value)", pair)
+		}
+		id, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad record id %q: %w", parts[0], err)
+		}
+		v, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad record value %q: %w", parts[1], err)
+		}
+		records = append(records, core.NewRecord(id, v))
+	}
+	return records, nil
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ContinueOnError)
+	statePath, cloudAddr, chainAddr := commonFlags(fs)
+	bits := fs.Int("bits", 16, "value bit width")
+	random := fs.Int("random", 0, "generate N random records")
+	values := fs.String("values", "", "explicit records: id=value,id=value,...")
+	tdBits := fs.Int("trapdoor-bits", 1024, "trapdoor permutation modulus bits")
+	accBits := fs.Int("accumulator-bits", 1024, "accumulator modulus bits")
+	prefix := fs.Bool("prefix-index", false, "index bit prefixes to enable 'search -range lo:hi'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db, err := parseRecords(*random, *bits, *values, 1)
+	if err != nil {
+		return err
+	}
+	owner, err := core.NewOwner(core.Params{
+		Bits: *bits, TrapdoorBits: *tdBits, AccumulatorBits: *accBits, PrefixIndex: *prefix,
+	})
+	if err != nil {
+		return err
+	}
+	built, err := owner.Build(db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built encrypted index over %d records (%d index entries, %d keywords)\n",
+		len(db), built.Index.Len(), len(built.Primes))
+
+	cloud, err := wire.DialCloud(*cloudAddr)
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	if err := cloud.Init(owner.CloudInit(built.Index), true); err != nil {
+		return fmt.Errorf("initialize cloud: %w", err)
+	}
+	fmt.Printf("cloud %s initialized\n", *cloudAddr)
+
+	chainCli, err := wire.DialChain(*chainAddr)
+	if err != nil {
+		return err
+	}
+	defer chainCli.Close()
+	st := &cliState{
+		CloudAddr: *cloudAddr,
+		ChainAddr: *chainAddr,
+		OwnerAcct: chain.AddressFromString("owner"),
+		UserAcct:  chain.AddressFromString("user"),
+		CloudAcct: chain.AddressFromString("cloud"),
+	}
+	nonce, err := chainCli.Nonce(st.OwnerAcct)
+	if err != nil {
+		return err
+	}
+	rc, err := chainCli.Mine(contract.DeployTx(st.OwnerAcct, nonce, owner.AccumulatorPub().Marshal(), owner.Ac(), 50_000_000))
+	if err != nil {
+		return err
+	}
+	if !rc.Status {
+		return fmt.Errorf("contract deployment reverted: %s", rc.Err)
+	}
+	st.ContractAddr = rc.ContractAddress
+	fmt.Printf("contract deployed at %s (gas %d)\n", rc.ContractAddress, rc.GasUsed)
+
+	ownerBlob, err := owner.Marshal()
+	if err != nil {
+		return err
+	}
+	st.Owner = ownerBlob
+	if err := saveState(*statePath, st); err != nil {
+		return err
+	}
+	fmt.Printf("state saved to %s\n", *statePath)
+	return nil
+}
+
+func cmdInsert(args []string) error {
+	fs := flag.NewFlagSet("insert", flag.ContinueOnError)
+	statePath, _, _ := commonFlags(fs)
+	random := fs.Int("random", 0, "generate N random records")
+	values := fs.String("values", "", "explicit records: id=value,...")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := loadState(*statePath)
+	if err != nil {
+		return err
+	}
+	owner, err := core.UnmarshalOwner(st.Owner)
+	if err != nil {
+		return err
+	}
+	records, err := parseRecords(*random, owner.Params().Bits, *values, 7)
+	if err != nil {
+		return err
+	}
+	up, err := owner.Insert(records)
+	if err != nil {
+		return err
+	}
+
+	cloud, err := wire.DialCloud(st.CloudAddr)
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	if err := cloud.Update(up); err != nil {
+		return fmt.Errorf("ship delta to cloud: %w", err)
+	}
+
+	chainCli, err := wire.DialChain(st.ChainAddr)
+	if err != nil {
+		return err
+	}
+	defer chainCli.Close()
+	nonce, err := chainCli.Nonce(st.OwnerAcct)
+	if err != nil {
+		return err
+	}
+	rc, err := chainCli.Mine(&chain.Transaction{
+		From: st.OwnerAcct, To: st.ContractAddr, Nonce: nonce,
+		GasLimit: 1_000_000, Data: contract.SetAcData(owner.Ac()),
+	})
+	if err != nil {
+		return err
+	}
+	if !rc.Status {
+		return fmt.Errorf("SetAc reverted: %s", rc.Err)
+	}
+	fmt.Printf("inserted %d records; on-chain ADS digest refreshed (gas %d)\n", len(records), rc.GasUsed)
+
+	ownerBlob, err := owner.Marshal()
+	if err != nil {
+		return err
+	}
+	st.Owner = ownerBlob
+	return saveState(*statePath, st)
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	statePath, _, _ := commonFlags(fs)
+	opFlag := fs.String("op", "=", "operator: '=', '<' or '>'")
+	value := fs.Uint64("value", 0, "query value")
+	rangeFlag := fs.String("range", "", "inclusive range 'lo:hi' (needs init -prefix-index); overrides -op/-value")
+	attr := fs.String("attr", "", "attribute name (empty for single-attribute data)")
+	pay := fs.Uint64("pay", 1000, "search fee to escrow")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	st, err := loadState(*statePath)
+	if err != nil {
+		return err
+	}
+	owner, err := core.UnmarshalOwner(st.Owner)
+	if err != nil {
+		return err
+	}
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		return err
+	}
+
+	var req *core.SearchRequest
+	var queryDesc string
+	if *rangeFlag != "" {
+		parts := strings.SplitN(*rangeFlag, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -range %q (want lo:hi)", *rangeFlag)
+		}
+		lo, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad range low bound: %w", err)
+		}
+		hi, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad range high bound: %w", err)
+		}
+		req, err = user.RangeTokens(*attr, lo, hi)
+		if err != nil {
+			return err
+		}
+		queryDesc = fmt.Sprintf("%s in [%d,%d]", *attr, lo, hi)
+	} else {
+		var op core.Op
+		switch *opFlag {
+		case "=":
+			op = core.OpEqual
+		case "<":
+			op = core.OpLess
+		case ">":
+			op = core.OpGreater
+		default:
+			return fmt.Errorf("bad -op %q", *opFlag)
+		}
+		req, err = user.Token(core.Query{Attr: *attr, Op: op, Value: *value})
+		if err != nil {
+			return err
+		}
+		queryDesc = fmt.Sprintf("%s %s %d", *attr, *opFlag, *value)
+	}
+	fmt.Printf("query %s -> %d search tokens\n", queryDesc, len(req.Tokens))
+
+	chainCli, err := wire.DialChain(st.ChainAddr)
+	if err != nil {
+		return err
+	}
+	defer chainCli.Close()
+	th, err := contract.TokensHash(req.Tokens)
+	if err != nil {
+		return err
+	}
+	var reqID chain.Hash
+	if _, err := rand.Read(reqID[:]); err != nil {
+		return err
+	}
+	nonce, err := chainCli.Nonce(st.UserAcct)
+	if err != nil {
+		return err
+	}
+	rc, err := chainCli.Mine(&chain.Transaction{
+		From: st.UserAcct, To: st.ContractAddr, Nonce: nonce, Value: *pay,
+		GasLimit: 1_000_000, Data: contract.RequestData(reqID, st.CloudAcct, th),
+	})
+	if err != nil {
+		return err
+	}
+	if !rc.Status {
+		return fmt.Errorf("escrow request reverted: %s", rc.Err)
+	}
+	fmt.Printf("escrowed %d on chain (request %x...)\n", *pay, reqID[:6])
+
+	cloud, err := wire.DialCloud(st.CloudAddr)
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	resp, err := cloud.Search(req)
+	if err != nil {
+		return fmt.Errorf("cloud search: %w", err)
+	}
+
+	submit, err := contract.SubmitData(reqID, owner.AccumulatorPub().Marshal(), owner.Ac(), resp.Results)
+	if err != nil {
+		return err
+	}
+	nonce, err = chainCli.Nonce(st.CloudAcct)
+	if err != nil {
+		return err
+	}
+	rc, err = chainCli.Mine(&chain.Transaction{
+		From: st.CloudAcct, To: st.ContractAddr, Nonce: nonce,
+		GasLimit: 50_000_000, Data: submit,
+	})
+	if err != nil {
+		return err
+	}
+	if !rc.Status {
+		return fmt.Errorf("result submission reverted: %s", rc.Err)
+	}
+	if len(rc.ReturnData) != 1 || rc.ReturnData[0] != 1 {
+		fmt.Println("on-chain verification FAILED; payment refunded")
+		return nil
+	}
+	fmt.Printf("on-chain verification passed (gas %d); payment settled to the cloud\n", rc.GasUsed)
+
+	ids, err := user.Decrypt(resp)
+	if err != nil {
+		return err
+	}
+	fmt.Println("matching record IDs:", ids)
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	statePath, _, _ := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := loadState(*statePath)
+	if err != nil {
+		return err
+	}
+	cloud, err := wire.DialCloud(st.CloudAddr)
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	stats, err := cloud.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloud %s: %d index entries (%d bytes), %d primes (%d bytes)\n",
+		st.CloudAddr, stats.IndexEntries, stats.IndexBytes, stats.Primes, stats.ADSBytes)
+
+	chainCli, err := wire.DialChain(st.ChainAddr)
+	if err != nil {
+		return err
+	}
+	defer chainCli.Close()
+	height, err := chainCli.Height()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chain %s: height %d, contract %s\n", st.ChainAddr, height, st.ContractAddr)
+	for _, acct := range []struct {
+		name string
+		addr chain.Address
+	}{{"owner", st.OwnerAcct}, {"user", st.UserAcct}, {"cloud", st.CloudAcct}} {
+		bal, err := chainCli.Balance(acct.addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-6s %s balance %d\n", acct.name, acct.addr, bal)
+	}
+	return nil
+}

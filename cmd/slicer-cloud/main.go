@@ -1,0 +1,72 @@
+// Command slicer-cloud runs the untrusted search server: it stores the
+// encrypted index and the ADS prime list shipped by a data owner and
+// answers search requests with verification objects (Algorithm 4).
+//
+// Usage:
+//
+//	slicer-cloud -listen 0.0.0.0:7401
+//
+// The server starts empty; a data owner initializes it over the wire
+// protocol (see cmd/slicer-cli and examples/distributed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"slicer/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slicer-cloud:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:7401", "address to listen on")
+	state := flag.String("state", "", "path for cloud persistence: restored at boot if present, written at shutdown")
+	flag.Parse()
+
+	srv := wire.NewCloudServer()
+	if *state != "" {
+		if data, err := os.ReadFile(*state); err == nil {
+			if err := srv.Restore(data); err != nil {
+				return fmt.Errorf("restore state: %w", err)
+			}
+			fmt.Printf("restored cloud state from %s\n", *state)
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("read state: %w", err)
+		}
+	}
+
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("slicer-cloud: serving on %s\n", addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("slicer-cloud: shutting down")
+
+	if *state != "" {
+		data, err := srv.Snapshot()
+		if err != nil {
+			return fmt.Errorf("snapshot state: %w", err)
+		}
+		if data != nil {
+			if err := os.WriteFile(*state, data, 0o644); err != nil {
+				return fmt.Errorf("write state: %w", err)
+			}
+			fmt.Printf("persisted cloud state to %s\n", *state)
+		}
+	}
+	return nil
+}

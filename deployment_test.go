@@ -1,0 +1,47 @@
+package slicer
+
+import (
+	"testing"
+)
+
+func TestVerifyFreshness(t *testing.T) {
+	db := []Record{NewRecord(1, 3), NewRecord(2, 7)}
+	d, err := NewDeployment(DeploymentConfig{Params: testParams(8)}, db)
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	// Fresh at deployment (digest set by the constructor).
+	if err := d.VerifyFreshness(); err != nil {
+		t.Fatalf("freshness at deployment: %v", err)
+	}
+	// After inserts the light-client path runs.
+	for i := 0; i < 3; i++ {
+		if _, err := d.Insert([]Record{NewRecord(uint64(10+i), 3)}); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		if err := d.VerifyFreshness(); err != nil {
+			t.Fatalf("freshness after insert %d: %v", i, err)
+		}
+	}
+	// The user-side staleness signal: the counter advanced once per insert.
+	count, err := d.AcUpdateCount()
+	if err != nil {
+		t.Fatalf("AcUpdateCount: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("AcUpdateCount = %d, want 3", count)
+	}
+
+	// Simulate a withheld update: the owner advances without posting the
+	// digest — freshness verification must fail.
+	out, err := d.Owner().Insert([]Record{NewRecord(99, 3)})
+	if err != nil {
+		t.Fatalf("owner Insert: %v", err)
+	}
+	if err := d.Cloud().ApplyUpdate(out); err != nil {
+		t.Fatalf("ApplyUpdate: %v", err)
+	}
+	if err := d.VerifyFreshness(); err == nil {
+		t.Error("stale on-chain digest passed the freshness check")
+	}
+}

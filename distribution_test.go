@@ -1,0 +1,48 @@
+package slicer
+
+import (
+	"fmt"
+	"testing"
+
+	"slicer/internal/workload"
+)
+
+// TestDistributionsRoundTrip checks the full verified pipeline over skewed
+// value distributions — zipf (heavy duplication of small values, stressing
+// long per-keyword postings) and clustered (dense value neighbourhoods,
+// stressing shared-prefix tuples) — against plaintext ground truth.
+func TestDistributionsRoundTrip(t *testing.T) {
+	for _, dist := range []workload.Distribution{workload.Zipf, workload.Clustered} {
+		dist := dist
+		t.Run(fmt.Sprint(dist), func(t *testing.T) {
+			cfg := workload.Config{N: 150, Bits: 8, Dist: dist, Seed: 13}
+			db := workload.Generate(cfg)
+			scheme, err := NewScheme(testParams(8), db)
+			if err != nil {
+				t.Fatalf("NewScheme: %v", err)
+			}
+			for _, q := range workload.Queries(cfg, workload.Mixed, 15) {
+				got, err := scheme.Search(q)
+				if err != nil {
+					t.Fatalf("Search(%v %d): %v", q.Op, q.Value, err)
+				}
+				want := workload.Answer(db, q)
+				sortU64(want)
+				if !equalU64(got, want) {
+					t.Fatalf("%v: Search(%v %d) = %d ids, want %d",
+						dist, q.Op, q.Value, len(got), len(want))
+				}
+			}
+			// Value-heavy equality: a zipf mode can hit dozens of records.
+			got, err := scheme.Search(Equal(db[0].Attrs[0].Value))
+			if err != nil {
+				t.Fatalf("Search: %v", err)
+			}
+			want := workload.Answer(db, Equal(db[0].Attrs[0].Value))
+			sortU64(want)
+			if !equalU64(got, want) {
+				t.Fatalf("%v mode-value equality mismatch", dist)
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package slicer_test
+
+import (
+	"fmt"
+	"log"
+
+	"slicer"
+)
+
+// Example demonstrates the basic verified-search workflow: build an
+// encrypted index, run equality/order/range queries (each response carries
+// accumulator proofs and is verified before decryption), and insert new
+// records with forward security.
+func Example() {
+	db := []slicer.Record{
+		slicer.NewRecord(1, 17),
+		slicer.NewRecord(2, 42),
+		slicer.NewRecord(3, 42),
+		slicer.NewRecord(4, 99),
+	}
+	scheme, err := slicer.NewScheme(slicer.Params{
+		Bits: 8, TrapdoorBits: 256, AccumulatorBits: 256,
+	}, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ids, err := scheme.Search(slicer.Equal(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== 42:", ids)
+
+	ids, err = scheme.Search(slicer.Less(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("<  42:", ids)
+
+	ids, err = scheme.RangeSearch("", 40, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("40-100:", ids)
+
+	if err := scheme.Insert([]slicer.Record{slicer.NewRecord(5, 42)}); err != nil {
+		log.Fatal(err)
+	}
+	ids, err = scheme.Search(slicer.Equal(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after insert:", ids)
+
+	// Output:
+	// == 42: [2 3]
+	// <  42: [1]
+	// 40-100: [2 3 4]
+	// after insert: [2 3 5]
+}
+
+// ExampleScheme_ConjunctiveSearch shows a multi-attribute AND query.
+func ExampleScheme_ConjunctiveSearch() {
+	db := []slicer.Record{
+		{ID: 1, Attrs: []slicer.AttrValue{{Name: "age", Value: 34}, {Name: "hr", Value: 72}}},
+		{ID: 2, Attrs: []slicer.AttrValue{{Name: "age", Value: 45}, {Name: "hr", Value: 110}}},
+		{ID: 3, Attrs: []slicer.AttrValue{{Name: "age", Value: 70}, {Name: "hr", Value: 115}}},
+	}
+	scheme, err := slicer.NewScheme(slicer.Params{
+		Bits: 8, TrapdoorBits: 256, AccumulatorBits: 256,
+	}, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := scheme.ConjunctiveSearch([]slicer.Condition{
+		{Attr: "age", Lo: 30, Hi: 60},
+		{Attr: "hr", Lo: 100, Hi: scheme.MaxValue()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ids)
+	// Output: [2]
+}
+
+// ExampleDeployment shows the on-chain fair exchange: the search fee is
+// escrowed by the contract, verified on chain and settled to the cloud.
+func ExampleDeployment() {
+	db := []slicer.Record{slicer.NewRecord(1, 7), slicer.NewRecord(2, 99)}
+	d, err := slicer.NewDeployment(slicer.DeploymentConfig{
+		Params: slicer.Params{Bits: 8, TrapdoorBits: 256, AccumulatorBits: 256},
+	}, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := d.VerifiedSearch(slicer.Less(50), 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("settled:", out.Settled, "ids:", out.IDs)
+	fmt.Println("freshness:", d.VerifyFreshness() == nil)
+	// Output:
+	// settled: true ids: [1]
+	// freshness: true
+}
+
+// ExampleTwinScheme shows deletion and update via the twin-instance
+// extension.
+func ExampleTwinScheme() {
+	db := []slicer.Record{slicer.NewRecord(1, 10), slicer.NewRecord(2, 10)}
+	tw, err := slicer.NewTwinScheme(slicer.Params{
+		Bits: 8, TrapdoorBits: 256, AccumulatorBits: 256,
+	}, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Delete([]slicer.Record{slicer.NewRecord(1, 10)}); err != nil {
+		log.Fatal(err)
+	}
+	ids, err := tw.Search(slicer.Equal(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ids)
+	// Output: [2]
+}

@@ -1,0 +1,218 @@
+// Distributed deployment: the cloud and the blockchain run as TCP servers
+// (the same servers cmd/slicer-cloud and cmd/slicer-chain expose) and the
+// owner/user drive the full protocol over the wire — initialization, a
+// remote verified search with on-chain settlement, and a forward-secure
+// insert shipped as a delta.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"slicer"
+	"slicer/internal/chain"
+	"slicer/internal/contract"
+	"slicer/internal/core"
+	"slicer/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Servers (in production: separate machines) ---
+	cloudSrv := wire.NewCloudServer()
+	cloudAddr, err := cloudSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer cloudSrv.Close()
+
+	registry := chain.NewRegistry()
+	if err := contract.Register(registry); err != nil {
+		return err
+	}
+	ownerAcct := chain.AddressFromString("owner")
+	userAcct := chain.AddressFromString("user")
+	cloudAcct := chain.AddressFromString("cloud")
+	validators := []chain.Address{
+		chain.AddressFromString("validator-a"),
+		chain.AddressFromString("validator-b"),
+		chain.AddressFromString("validator-c"),
+	}
+	network, err := chain.NewNetwork(registry, validators, map[chain.Address]uint64{
+		ownerAcct: 1 << 40, userAcct: 1 << 40, cloudAcct: 1 << 40,
+	})
+	if err != nil {
+		return err
+	}
+	chainSrv := wire.NewChainServer(network)
+	chainAddr, err := chainSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer chainSrv.Close()
+	fmt.Printf("cloud server: %s\nchain server: %s (3 validators)\n\n", cloudAddr, chainAddr)
+
+	// --- Data owner: build locally, initialize the remote parties ---
+	params := core.Params{Bits: 16, TrapdoorBits: 512, AccumulatorBits: 512}
+	owner, err := core.NewOwner(params)
+	if err != nil {
+		return err
+	}
+	db := []slicer.Record{
+		slicer.NewRecord(1, 120), slicer.NewRecord(2, 7340),
+		slicer.NewRecord(3, 512), slicer.NewRecord(4, 60000),
+		slicer.NewRecord(5, 512),
+	}
+	built, err := owner.Build(db)
+	if err != nil {
+		return err
+	}
+
+	cloudCli, err := wire.DialCloud(cloudAddr)
+	if err != nil {
+		return err
+	}
+	defer cloudCli.Close()
+	if err := cloudCli.Init(owner.CloudInit(built.Index), true); err != nil {
+		return fmt.Errorf("remote cloud init: %w", err)
+	}
+	stats, err := cloudCli.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("owner shipped index (%d entries, %d bytes) and ADS (%d primes) to the cloud\n",
+		stats.IndexEntries, stats.IndexBytes, stats.Primes)
+
+	chainCli, err := wire.DialChain(chainAddr)
+	if err != nil {
+		return err
+	}
+	defer chainCli.Close()
+	deployRc, err := chainCli.Mine(contract.DeployTx(ownerAcct, 0, owner.AccumulatorPub().Marshal(), owner.Ac(), 50_000_000))
+	if err != nil {
+		return err
+	}
+	if !deployRc.Status {
+		return fmt.Errorf("deployment reverted: %s", deployRc.Err)
+	}
+	contractAddr := deployRc.ContractAddress
+	fmt.Printf("owner deployed contract at %s (gas %d)\n\n", contractAddr, deployRc.GasUsed)
+
+	// --- Data user: verified search with on-chain settlement ---
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		return err
+	}
+	query := slicer.Less(1000)
+	req, err := user.Token(query)
+	if err != nil {
+		return err
+	}
+	th, err := contract.TokensHash(req.Tokens)
+	if err != nil {
+		return err
+	}
+	var reqID chain.Hash
+	if _, err := rand.Read(reqID[:]); err != nil {
+		return err
+	}
+	nonce, err := chainCli.Nonce(userAcct)
+	if err != nil {
+		return err
+	}
+	const fee = 2500
+	if rc, err := chainCli.Mine(&chain.Transaction{
+		From: userAcct, To: contractAddr, Nonce: nonce, Value: fee,
+		GasLimit: 1_000_000, Data: contract.RequestData(reqID, cloudAcct, th),
+	}); err != nil || !rc.Status {
+		return fmt.Errorf("escrow request failed: %v %s", err, rc.Err)
+	}
+	fmt.Printf("user escrowed %d for query 'value < 1000' (%d tokens)\n", fee, len(req.Tokens))
+
+	resp, err := cloudCli.Search(req)
+	if err != nil {
+		return fmt.Errorf("remote search: %w", err)
+	}
+	submit, err := contract.SubmitData(reqID, owner.AccumulatorPub().Marshal(), owner.Ac(), resp.Results)
+	if err != nil {
+		return err
+	}
+	nonce, err = chainCli.Nonce(cloudAcct)
+	if err != nil {
+		return err
+	}
+	rc, err := chainCli.Mine(&chain.Transaction{
+		From: cloudAcct, To: contractAddr, Nonce: nonce,
+		GasLimit: 50_000_000, Data: submit,
+	})
+	if err != nil {
+		return err
+	}
+	if !rc.Status {
+		return fmt.Errorf("submission reverted: %s", rc.Err)
+	}
+	settled := len(rc.ReturnData) == 1 && rc.ReturnData[0] == 1
+	fmt.Printf("cloud submitted results; on-chain verification settled=%v (gas %d)\n", settled, rc.GasUsed)
+	ids, err := user.Decrypt(resp)
+	if err != nil {
+		return err
+	}
+	fmt.Println("decrypted matching record IDs:", ids)
+
+	// --- Owner: forward-secure insert shipped over the wire ---
+	up, err := owner.Insert([]slicer.Record{slicer.NewRecord(6, 640)})
+	if err != nil {
+		return err
+	}
+	if err := cloudCli.Update(up); err != nil {
+		return fmt.Errorf("remote update: %w", err)
+	}
+	user.UpdateStates(owner.StatesSnapshot())
+	nonce, err = chainCli.Nonce(ownerAcct)
+	if err != nil {
+		return err
+	}
+	if rc, err := chainCli.Mine(&chain.Transaction{
+		From: ownerAcct, To: contractAddr, Nonce: nonce,
+		GasLimit: 1_000_000, Data: contract.SetAcData(owner.Ac()),
+	}); err != nil || !rc.Status {
+		return fmt.Errorf("SetAc failed: %v", err)
+	}
+	fmt.Println("\nowner inserted record 6 (value 640) and refreshed the on-chain digest")
+
+	req, err = user.Token(query)
+	if err != nil {
+		return err
+	}
+	resp, err = cloudCli.Search(req)
+	if err != nil {
+		return err
+	}
+	if err := core.VerifyResponse(owner.AccumulatorPub(), owner.Ac(), req, resp); err != nil {
+		return fmt.Errorf("verification after insert: %w", err)
+	}
+	ids, err = user.Decrypt(resp)
+	if err != nil {
+		return err
+	}
+	fmt.Println("re-ran 'value < 1000' remotely, verified:", ids)
+
+	height, err := chainCli.Height()
+	if err != nil {
+		return err
+	}
+	cloudBal, err := chainCli.Balance(cloudAcct)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nchain height %d; cloud earned %d in search fees\n", height, cloudBal-(1<<40))
+	return nil
+}

@@ -1,0 +1,79 @@
+// Dynamic data on chain: the twin-instance extension (§V-F) combined with
+// the fair-exchange flow. Records are inserted, deleted and updated; every
+// mutation refreshes the on-chain accumulator digests of both instances,
+// and every search settles through the smart contract against the current
+// state.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slicer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// An inventory of listing prices (8-bit demo domain).
+	db := []slicer.Record{
+		slicer.NewRecord(1, 35),
+		slicer.NewRecord(2, 120),
+		slicer.NewRecord(3, 35),
+		slicer.NewRecord(4, 200),
+	}
+	params := slicer.Params{Bits: 8, TrapdoorBits: 512, AccumulatorBits: 512}
+
+	fmt.Println("deploying twin contracts (insert + delete instances) ...")
+	d, err := slicer.NewTwinDeployment(slicer.DeploymentConfig{Params: params}, db)
+	if err != nil {
+		return err
+	}
+
+	const fee = 2000
+	search := func(label string, q slicer.Query) error {
+		out, err := d.VerifiedSearch(q, fee)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-34s settled=%v gas=%-6d -> %v\n", label, out.Settled, out.GasUsed, out.IDs)
+		return nil
+	}
+
+	if err := search("price == 35:", slicer.Equal(35)); err != nil {
+		return err
+	}
+
+	fmt.Println("\ndelisting record 1 (price 35) ...")
+	if err := d.Delete([]slicer.Record{slicer.NewRecord(1, 35)}); err != nil {
+		return err
+	}
+	if err := search("price == 35 after delete:", slicer.Equal(35)); err != nil {
+		return err
+	}
+
+	fmt.Println("\nrepricing record 2: 120 -> 45 (relisted as record 5) ...")
+	if err := d.Update(slicer.NewRecord(2, 120), slicer.NewRecord(5, 45)); err != nil {
+		return err
+	}
+	if err := search("price < 100 after update:", slicer.Less(100)); err != nil {
+		return err
+	}
+
+	fmt.Println("\nlisting record 6 (price 30) ...")
+	if err := d.Insert([]slicer.Record{slicer.NewRecord(6, 30)}); err != nil {
+		return err
+	}
+	if err := search("price < 100 after insert:", slicer.Less(100)); err != nil {
+		return err
+	}
+
+	fmt.Println("\nevery mutation refreshed both on-chain digests; every result settled through Algorithm 5")
+	return nil
+}

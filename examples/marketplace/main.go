@@ -1,0 +1,102 @@
+// Marketplace: the paper's fairness story end to end, on the blockchain
+// substrate. A data user pays per search; the smart contract escrows the
+// fee, verifies the cloud's results on chain, and settles to an honest
+// cloud or refunds the user when the cloud cheats — so neither a malicious
+// cloud nor a repudiating user can defraud the other.
+//
+//	go run ./examples/marketplace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slicer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Transaction values of a business database (16-bit cents).
+	db := []slicer.Record{
+		slicer.NewRecord(1, 1999),
+		slicer.NewRecord(2, 50000),
+		slicer.NewRecord(3, 1999),
+		slicer.NewRecord(4, 12750),
+		slicer.NewRecord(5, 830),
+		slicer.NewRecord(6, 60000),
+	}
+	params := slicer.Params{Bits: 16, TrapdoorBits: 512, AccumulatorBits: 512}
+
+	fmt.Println("booting 3-validator chain, deploying the Slicer contract ...")
+	d, err := slicer.NewDeployment(slicer.DeploymentConfig{Params: params}, db)
+	if err != nil {
+		return fmt.Errorf("deployment: %w", err)
+	}
+	fmt.Printf("contract at %s (deployment gas %d)\n\n", d.ContractAddress(), d.DeployGas())
+
+	const fee = 5_000
+	balances := func(when string) {
+		fmt.Printf("%-28s user=%d cloud=%d\n", when,
+			d.Balance(d.UserAddr), d.Balance(d.CloudAddr))
+	}
+	balances("initial balances:")
+
+	// Round 1: honest cloud. The user escrows the fee with the token list;
+	// the cloud's proofs verify on chain; the contract pays the cloud.
+	fmt.Println("\n-- round 1: honest cloud, query: value > 10000 --")
+	outcome, err := d.VerifiedSearch(slicer.Greater(10000), fee)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("on-chain verification: settled=%v gas=%d\n", outcome.Settled, outcome.GasUsed)
+	fmt.Println("matching record IDs:", outcome.IDs)
+	balances("after settlement:")
+
+	// Round 2: the cloud turns malicious and drops a result (say, to hide
+	// a transaction). On-chain verification fails; the escrow returns to
+	// the user; the cloud worked for nothing.
+	fmt.Println("\n-- round 2: malicious cloud drops a matching record --")
+	d.SetCloudTamper(func(resp *slicer.SearchResponse) {
+		for i := range resp.Results {
+			if n := len(resp.Results[i].ER); n > 0 {
+				resp.Results[i].ER = resp.Results[i].ER[:n-1]
+				return
+			}
+		}
+	})
+	outcome, err = d.VerifiedSearch(slicer.Greater(10000), fee)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("on-chain verification: settled=%v gas=%d\n", outcome.Settled, outcome.GasUsed)
+	if outcome.IDs == nil {
+		fmt.Println("results rejected, payment refunded to the user")
+	}
+	balances("after refund:")
+
+	// Round 3: honest again — and note the user cannot repudiate: the
+	// verification ran on chain, not on the user's machine, so a "the
+	// results were wrong" claim cannot claw the fee back.
+	d.SetCloudTamper(nil)
+	fmt.Println("\n-- round 3: honest cloud, insertion, fresh query --")
+	receipt, err := d.Insert([]slicer.Record{slicer.NewRecord(7, 45000)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("owner refreshed on-chain ADS digest (gas %d)\n", receipt.GasUsed)
+	outcome, err = d.VerifiedSearch(slicer.Greater(10000), fee)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("on-chain verification: settled=%v gas=%d\n", outcome.Settled, outcome.GasUsed)
+	fmt.Println("matching record IDs (includes the new record):", outcome.IDs)
+	balances("final balances:")
+
+	fmt.Printf("\nchain height: %d blocks across 3 validators\n", d.BlockHeight())
+	return nil
+}

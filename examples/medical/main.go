@@ -1,0 +1,118 @@
+// Medical records: the motivating workload of the paper's introduction —
+// privacy-sensitive numerical attributes (ages, vitals) outsourced to an
+// untrusted cloud, searched with verified range queries, and extended with
+// forward-secure insertions as new patients arrive.
+//
+//	go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slicer"
+)
+
+// patient is the application-level record; only its numerical attributes
+// enter the encrypted index, keyed by a synthetic record ID the hospital
+// maps back to its (separately encrypted) full record.
+type patient struct {
+	id        uint64
+	name      string // never leaves the hospital
+	age       uint64
+	heartRate uint64
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	patients := []patient{
+		{1, "Alice", 34, 72},
+		{2, "Bob", 61, 88},
+		{3, "Carol", 45, 110},
+		{4, "Dave", 8, 95},
+		{5, "Erin", 70, 64},
+		{6, "Frank", 52, 130},
+	}
+	byID := make(map[uint64]patient, len(patients))
+
+	// Multi-attribute records (§V-F): the attribute name is folded into
+	// every tuple, so "age" and "heart_rate" indexes cannot cross-match.
+	db := make([]slicer.Record, len(patients))
+	for i, p := range patients {
+		byID[p.id] = p
+		db[i] = slicer.Record{ID: p.id, Attrs: []slicer.AttrValue{
+			{Name: "age", Value: p.age},
+			{Name: "heart_rate", Value: p.heartRate},
+		}}
+	}
+
+	scheme, err := slicer.NewScheme(slicer.DefaultParams(8), db)
+	if err != nil {
+		return fmt.Errorf("build scheme: %w", err)
+	}
+	fmt.Printf("hospital outsourced %d patient records (attributes: age, heart_rate)\n\n", len(db))
+
+	show := func(label string, ids []uint64) {
+		fmt.Printf("%-38s ->", label)
+		for _, id := range ids {
+			fmt.Printf(" %s(%d)", byID[id].name, id)
+		}
+		fmt.Println()
+	}
+
+	// A researcher (authorized data user) runs verified cohort queries
+	// without learning anything beyond the matching record IDs.
+	ids, err := scheme.Search(slicer.Query{Attr: "age", Op: slicer.OpGreater, Value: 50})
+	if err != nil {
+		return err
+	}
+	show("cohort: age > 50", ids)
+
+	ids, err = scheme.Search(slicer.Query{Attr: "heart_rate", Op: slicer.OpGreater, Value: 100})
+	if err != nil {
+		return err
+	}
+	show("alert: heart_rate > 100", ids)
+
+	ids, err = scheme.RangeSearch("age", 30, 60)
+	if err != nil {
+		return err
+	}
+	show("trial eligibility: 30 <= age <= 60", ids)
+
+	// New admissions arrive: forward-secure insertion means the cloud
+	// cannot link the new entries to any query it answered before.
+	fmt.Println("\nadmitting Grace (29, hr 79) and Heidi (58, hr 101) ...")
+	newPatients := []patient{{7, "Grace", 29, 79}, {8, "Heidi", 58, 101}}
+	var newRecords []slicer.Record
+	for _, p := range newPatients {
+		byID[p.id] = p
+		newRecords = append(newRecords, slicer.Record{ID: p.id, Attrs: []slicer.AttrValue{
+			{Name: "age", Value: p.age},
+			{Name: "heart_rate", Value: p.heartRate},
+		}})
+	}
+	if err := scheme.Insert(newRecords); err != nil {
+		return fmt.Errorf("insert: %w", err)
+	}
+
+	ids, err = scheme.Search(slicer.Query{Attr: "heart_rate", Op: slicer.OpGreater, Value: 100})
+	if err != nil {
+		return err
+	}
+	show("alert query re-run after admission", ids)
+
+	ids, err = scheme.RangeSearch("age", 30, 60)
+	if err != nil {
+		return err
+	}
+	show("trial eligibility re-run", ids)
+
+	fmt.Println("\nevery response above carried accumulator proofs and passed Algorithm 5 verification")
+	return nil
+}

@@ -1,0 +1,86 @@
+// Quickstart: build an encrypted index over a small numerical database,
+// run verified equality / order / range searches, and insert new records
+// with forward security.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slicer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A tiny single-attribute database: record ID -> numerical value
+	// (say, sensor readings). Values are 8-bit here; production data uses
+	// 16/24/32-bit domains.
+	db := []slicer.Record{
+		slicer.NewRecord(1, 17),
+		slicer.NewRecord(2, 42),
+		slicer.NewRecord(3, 42),
+		slicer.NewRecord(4, 99),
+		slicer.NewRecord(5, 200),
+	}
+
+	// NewScheme generates all keys, builds the encrypted index and the
+	// authenticated data structure, and wires owner, user and cloud.
+	scheme, err := slicer.NewScheme(slicer.DefaultParams(8), db)
+	if err != nil {
+		return fmt.Errorf("build scheme: %w", err)
+	}
+	fmt.Println("built encrypted index over", len(db), "records")
+
+	// Every Search below runs the full verified pipeline: the user
+	// generates tokens, the cloud searches the encrypted index and attaches
+	// an accumulator proof per token, and the response is verified with
+	// the same algorithm the smart contract runs before decryption.
+	ids, err := scheme.Search(slicer.Equal(42))
+	if err != nil {
+		return err
+	}
+	fmt.Println("value == 42     ->", ids)
+
+	ids, err = scheme.Search(slicer.Less(100))
+	if err != nil {
+		return err
+	}
+	fmt.Println("value <  100    ->", ids)
+
+	ids, err = scheme.Search(slicer.Greater(42))
+	if err != nil {
+		return err
+	}
+	fmt.Println("value >  42     ->", ids)
+
+	// Inclusive range search (both sides verified, intersected locally).
+	ids, err = scheme.RangeSearch("", 40, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Println("40 <= value <= 100 ->", ids)
+
+	// Dynamic insertion: the owner re-keys touched keywords with the
+	// trapdoor permutation (forward security), ships the delta to the
+	// cloud and refreshed states to the user.
+	if err := scheme.Insert([]slicer.Record{
+		slicer.NewRecord(6, 42),
+		slicer.NewRecord(7, 3),
+	}); err != nil {
+		return fmt.Errorf("insert: %w", err)
+	}
+	ids, err = scheme.Search(slicer.Equal(42))
+	if err != nil {
+		return err
+	}
+	fmt.Println("after insert, value == 42 ->", ids)
+
+	return nil
+}

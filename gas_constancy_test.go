@@ -1,0 +1,87 @@
+package slicer
+
+import (
+	"testing"
+
+	"slicer/internal/workload"
+)
+
+// TestInsertionGasConstant pins the paper's headline gas property (Table
+// II): the data-insertion transaction costs exactly the same regardless of
+// how many records the batch carries, because only a 32-byte digest of Ac
+// reaches the chain.
+func TestInsertionGasConstant(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 50, Bits: 8, Seed: 61})
+	d, err := NewDeployment(DeploymentConfig{Params: testParams(8)}, db)
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	// First SetAc pays the set-vs-reset difference; warm up once.
+	if _, err := d.Insert([]Record{NewRecord(1001, 1)}); err != nil {
+		t.Fatalf("warmup Insert: %v", err)
+	}
+	var gases []uint64
+	nextID := uint64(2000)
+	for _, batch := range []int{1, 10, 100} {
+		records := workload.Generate(workload.Config{
+			N: batch, Bits: 8, Seed: int64(batch), FirstID: nextID,
+		})
+		nextID += uint64(batch) + 1
+		r, err := d.Insert(records)
+		if err != nil {
+			t.Fatalf("Insert(%d): %v", batch, err)
+		}
+		gases = append(gases, r.GasUsed)
+	}
+	for i := 1; i < len(gases); i++ {
+		if gases[i] != gases[0] {
+			t.Fatalf("insertion gas varies with batch size: %v", gases)
+		}
+	}
+}
+
+// TestVerifiedRangeSearchOnChain settles a whole inclusive range as one
+// escrowed request via the prefix-cover index.
+func TestVerifiedRangeSearchOnChain(t *testing.T) {
+	db := []Record{
+		NewRecord(1, 30), NewRecord(2, 90), NewRecord(3, 120),
+		NewRecord(4, 150), NewRecord(5, 250),
+	}
+	params := testParams(8)
+	params.PrefixIndex = true
+	d, err := NewDeployment(DeploymentConfig{Params: params}, db)
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	out, err := d.VerifiedRangeSearch("", 80, 160, 999)
+	if err != nil {
+		t.Fatalf("VerifiedRangeSearch: %v", err)
+	}
+	if !out.Settled || !equalU64(out.IDs, []uint64{2, 3, 4}) {
+		t.Fatalf("outcome = %+v, want settled [2 3 4]", out)
+	}
+	// A tampering cloud on the range request gets refunded too.
+	d.SetCloudTamper(func(resp *SearchResponse) {
+		for i := range resp.Results {
+			if len(resp.Results[i].ER) > 0 {
+				resp.Results[i].ER = resp.Results[i].ER[1:]
+				return
+			}
+		}
+	})
+	out, err = d.VerifiedRangeSearch("", 80, 160, 999)
+	if err != nil {
+		t.Fatalf("VerifiedRangeSearch (tampered): %v", err)
+	}
+	if out.Settled {
+		t.Fatal("tampered range response settled")
+	}
+	// Without the prefix index the call reports a clear error.
+	plain, err := NewDeployment(DeploymentConfig{Params: testParams(8)}, db)
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	if _, err := plain.VerifiedRangeSearch("", 80, 160, 999); err == nil {
+		t.Error("range search without PrefixIndex accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module slicer
+
+go 1.22

@@ -1,0 +1,71 @@
+package slicer
+
+import (
+	"testing"
+
+	"slicer/internal/workload"
+)
+
+// TestMediumScaleIntegration exercises the whole stack at a few thousand
+// records: randomized verified queries against plaintext ground truth,
+// a batch of inserts, an on-chain fair-exchange round and a freshness
+// check. Skipped under -short.
+func TestMediumScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale integration skipped in -short mode")
+	}
+	const n = 5000
+	db := workload.Generate(workload.Config{N: n, Bits: 8, Seed: 77})
+	d, err := NewDeployment(DeploymentConfig{Params: Params{
+		Bits: 8, TrapdoorBits: 512, AccumulatorBits: 512,
+	}}, db)
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+
+	// Off-chain verified queries against ground truth.
+	scheme := &Scheme{owner: d.owner, user: d.user, cloud: d.cloud}
+	queries := workload.Queries(workload.Config{N: n, Bits: 8, Seed: 78}, workload.Mixed, 20)
+	for _, q := range queries {
+		got, err := scheme.Search(q)
+		if err != nil {
+			t.Fatalf("Search(%v %d): %v", q.Op, q.Value, err)
+		}
+		want := workload.Answer(db, q)
+		sortU64(want)
+		if !equalU64(got, want) {
+			t.Fatalf("Search(%v %d): %d ids, want %d", q.Op, q.Value, len(got), len(want))
+		}
+	}
+
+	// Insert a batch through the full deployment (cloud delta + on-chain
+	// digest refresh), then spot-check.
+	extra := workload.Generate(workload.Config{N: 500, Bits: 8, Seed: 79, FirstID: n + 1})
+	if _, err := d.Insert(extra); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	all := append(append([]Record(nil), db...), extra...)
+	for _, q := range []Query{Equal(extra[0].Attrs[0].Value), Less(64), Greater(192)} {
+		got, err := scheme.Search(q)
+		if err != nil {
+			t.Fatalf("post-insert Search: %v", err)
+		}
+		want := workload.Answer(all, q)
+		sortU64(want)
+		if !equalU64(got, want) {
+			t.Fatalf("post-insert Search(%v %d) mismatch", q.Op, q.Value)
+		}
+	}
+
+	// Fair exchange on chain at this scale.
+	out, err := d.VerifiedSearch(Equal(extra[0].Attrs[0].Value), 1234)
+	if err != nil {
+		t.Fatalf("VerifiedSearch: %v", err)
+	}
+	if !out.Settled {
+		t.Fatal("medium-scale on-chain search did not settle")
+	}
+	if err := d.VerifyFreshness(); err != nil {
+		t.Fatalf("VerifyFreshness: %v", err)
+	}
+}

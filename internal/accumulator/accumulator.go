@@ -1,0 +1,354 @@
+// Package accumulator implements the RSA accumulator (Li–Li–Xue style, the
+// construction cited by Slicer) used as the authenticated data structure.
+//
+// The accumulator commits to a set X of prime numbers as
+//
+//	Ac = g^(Π_{x∈X} x) mod n
+//
+// for an RSA modulus n and a generator g of QR_n. Membership of x is proved
+// with the constant-size witness mw = g^(Π X / x) mod n, verified by
+// checking mw^x ≡ Ac (mod n). Forging a witness for a non-member breaks the
+// strong RSA assumption.
+//
+// The data owner runs Setup and therefore knows φ(n); the package exposes a
+// fast accumulation path that reduces the exponent mod φ(n) (owner only)
+// alongside the public iterative path (cloud / verifier). Witnesses for all
+// members at once are computed with the O(|X| log |X|) RootFactor algorithm.
+package accumulator
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// DefaultModulusBits is the default accumulator modulus size; 1024 bits
+// mirrors the lightweight benchmark setting, production should use >= 2048.
+const DefaultModulusBits = 1024
+
+var one = big.NewInt(1)
+
+// PublicParams is everything needed to accumulate, produce witnesses and
+// verify membership. It is safe to hand to untrusted parties.
+type PublicParams struct {
+	N *big.Int // RSA modulus
+	G *big.Int // generator of QR_n
+}
+
+// Params additionally holds the factorization trapdoor, kept by the data
+// owner for fast accumulation.
+type Params struct {
+	PublicParams
+	phi *big.Int // φ(n), nil for public-only instances
+}
+
+// Setup generates accumulator parameters with a modulus of the given bit
+// length. Following common practice the modulus is a product of two random
+// primes; use SetupSafe for strict safe-prime moduli.
+func Setup(bits int) (*Params, error) {
+	return setup(bits, false)
+}
+
+// SetupSafe generates parameters whose modulus is a product of safe primes
+// (p = 2p'+1 with p' prime), matching the paper's Setup definition exactly.
+// Safe-prime generation is substantially slower.
+func SetupSafe(bits int) (*Params, error) {
+	return setup(bits, true)
+}
+
+func setup(bits int, safe bool) (*Params, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("accumulator: modulus of %d bits is too small", bits)
+	}
+	p, err := genPrime(bits/2, safe)
+	if err != nil {
+		return nil, fmt.Errorf("sample p: %w", err)
+	}
+	q, err := genPrime(bits-bits/2, safe)
+	if err != nil {
+		return nil, fmt.Errorf("sample q: %w", err)
+	}
+	if p.Cmp(q) == 0 {
+		return setup(bits, safe)
+	}
+	n := new(big.Int).Mul(p, q)
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	phi := new(big.Int).Mul(pm1, qm1)
+
+	// Pick g in QR_n \ {1}: square a random element.
+	for {
+		a, err := rand.Int(rand.Reader, n)
+		if err != nil {
+			return nil, fmt.Errorf("sample generator: %w", err)
+		}
+		g := new(big.Int).Mul(a, a)
+		g.Mod(g, n)
+		if g.Cmp(one) > 0 {
+			return &Params{PublicParams: PublicParams{N: n, G: g}, phi: phi}, nil
+		}
+	}
+}
+
+func genPrime(bits int, safe bool) (*big.Int, error) {
+	if !safe {
+		return rand.Prime(rand.Reader, bits)
+	}
+	two := big.NewInt(2)
+	for {
+		pp, err := rand.Prime(rand.Reader, bits-1)
+		if err != nil {
+			return nil, err
+		}
+		p := new(big.Int).Mul(pp, two)
+		p.Add(p, one)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+}
+
+// Public strips the factorization trapdoor for handing to clouds/verifiers.
+func (p *Params) Public() *PublicParams {
+	return &PublicParams{N: p.N, G: p.G}
+}
+
+// HasTrapdoor reports whether the fast owner-side path is available.
+func (p *Params) HasTrapdoor() bool { return p.phi != nil }
+
+// Accumulate computes g^(Πx) mod n by iterated exponentiation. Anyone can
+// run it.
+func (pp *PublicParams) Accumulate(primes []*big.Int) *big.Int {
+	ac := new(big.Int).Set(pp.G)
+	for _, x := range primes {
+		ac.Exp(ac, x, pp.N)
+	}
+	return ac
+}
+
+// Add incrementally extends an accumulation value with more primes:
+// Ac' = Ac^(Πx⁺) mod n. Mathematically identical to re-accumulating the
+// union.
+func (pp *PublicParams) Add(ac *big.Int, primes []*big.Int) *big.Int {
+	out := new(big.Int).Set(ac)
+	for _, x := range primes {
+		out.Exp(out, x, pp.N)
+	}
+	return out
+}
+
+// AccumulateFast computes the same value as Accumulate but reduces the
+// combined exponent modulo φ(n) first, turning |X| modexps into one. Only
+// the party that ran Setup can call it.
+func (p *Params) AccumulateFast(primes []*big.Int) (*big.Int, error) {
+	if p.phi == nil {
+		return nil, errors.New("accumulator: fast path requires the factorization trapdoor")
+	}
+	e := new(big.Int).Set(one)
+	for _, x := range primes {
+		e.Mul(e, x)
+		e.Mod(e, p.phi)
+	}
+	return new(big.Int).Exp(p.G, e, p.N), nil
+}
+
+// AddFast incrementally extends an accumulation value like Add, but reduces
+// the combined new exponent mod φ(n) first (one modexp total). Owner only.
+func (p *Params) AddFast(ac *big.Int, primes []*big.Int) (*big.Int, error) {
+	if p.phi == nil {
+		return nil, errors.New("accumulator: fast path requires the factorization trapdoor")
+	}
+	e := new(big.Int).Set(one)
+	for _, x := range primes {
+		e.Mul(e, x)
+		e.Mod(e, p.phi)
+	}
+	return new(big.Int).Exp(ac, e, p.N), nil
+}
+
+// MemWit computes the membership witness for member: g raised to the
+// product of every accumulated prime except one occurrence of member.
+// The cloud runs this per query; it is O(|X|) modexps.
+func (pp *PublicParams) MemWit(primes []*big.Int, member *big.Int) (*big.Int, error) {
+	w := new(big.Int).Set(pp.G)
+	found := false
+	for _, x := range primes {
+		if !found && x.Cmp(member) == 0 {
+			found = true
+			continue
+		}
+		w.Exp(w, x, pp.N)
+	}
+	if !found {
+		return nil, fmt.Errorf("accumulator: %v is not in the accumulated set", member)
+	}
+	return w, nil
+}
+
+// VerifyMem checks a membership witness: mw^x ≡ Ac (mod n).
+func (pp *PublicParams) VerifyMem(ac, member, witness *big.Int) bool {
+	if witness == nil || member == nil || ac == nil {
+		return false
+	}
+	if witness.Sign() <= 0 || witness.Cmp(pp.N) >= 0 {
+		return false
+	}
+	got := new(big.Int).Exp(witness, member, pp.N)
+	return got.Cmp(ac) == 0
+}
+
+// RootFactor computes the membership witnesses for every element of primes
+// in O(|X| log |X|) modexps (Sander–Ta-Shma–Yung). witnesses[i] proves
+// primes[i].
+func (pp *PublicParams) RootFactor(primes []*big.Int) []*big.Int {
+	return pp.RootFactorParallel(primes, 1)
+}
+
+// RootFactorParallel is RootFactor fanned out over up to workers
+// goroutines: the recursion's two independent subtrees run concurrently
+// until the worker budget is spent. workers <= 1 runs serially; larger
+// values are capped by runtime.GOMAXPROCS(0). Output is identical to
+// RootFactor.
+func (pp *PublicParams) RootFactorParallel(primes []*big.Int, workers int) []*big.Int {
+	if len(primes) == 0 {
+		return nil
+	}
+	if maxW := runtime.GOMAXPROCS(0); workers > maxW {
+		workers = maxW
+	}
+	out := make([]*big.Int, len(primes))
+	pp.rootFactor(new(big.Int).Set(pp.G), primes, out, workers)
+	return out
+}
+
+// rootFactor fills out[i] with the witness for primes[i]; out aliases the
+// caller's slice so concurrent subtrees write disjoint halves.
+func (pp *PublicParams) rootFactor(base *big.Int, primes []*big.Int, out []*big.Int, workers int) {
+	if len(primes) == 1 {
+		out[0] = base
+		return
+	}
+	mid := len(primes) / 2
+	left, right := primes[:mid], primes[mid:]
+	baseR := new(big.Int).Set(base)
+	for _, x := range left {
+		baseR.Exp(baseR, x, pp.N)
+	}
+	baseL := base
+	for _, x := range right {
+		baseL.Exp(baseL, x, pp.N)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pp.rootFactor(baseR, right, out[mid:], workers/2)
+		}()
+		pp.rootFactor(baseL, left, out[:mid], workers-workers/2)
+		wg.Wait()
+		return
+	}
+	pp.rootFactor(baseL, left, out[:mid], 1)
+	pp.rootFactor(baseR, right, out[mid:], 1)
+}
+
+// MarshalSecret serializes the full parameters including φ(n) for
+// owner-state persistence. Treat the output as sensitive material.
+func (p *Params) MarshalSecret() ([]byte, error) {
+	if p.phi == nil {
+		return nil, errors.New("accumulator: no trapdoor to serialize")
+	}
+	out := appendChunk(nil, p.N.Bytes())
+	out = appendChunk(out, p.G.Bytes())
+	return appendChunk(out, p.phi.Bytes()), nil
+}
+
+// UnmarshalSecret parses parameters produced by MarshalSecret.
+func UnmarshalSecret(data []byte) (*Params, error) {
+	nb, rest, err := readChunk(data)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: parse modulus: %w", err)
+	}
+	gb, rest, err := readChunk(rest)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: parse generator: %w", err)
+	}
+	pb, _, err := readChunk(rest)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: parse phi: %w", err)
+	}
+	p := &Params{
+		PublicParams: PublicParams{N: new(big.Int).SetBytes(nb), G: new(big.Int).SetBytes(gb)},
+		phi:          new(big.Int).SetBytes(pb),
+	}
+	if p.N.Sign() <= 0 || p.G.Sign() <= 0 || p.phi.Sign() <= 0 {
+		return nil, errors.New("accumulator: invalid secret parameter encoding")
+	}
+	return p, nil
+}
+
+// Marshal serializes public parameters.
+func (pp *PublicParams) Marshal() []byte {
+	nb, gb := pp.N.Bytes(), pp.G.Bytes()
+	out := make([]byte, 0, 8+len(nb)+len(gb))
+	out = appendChunk(out, nb)
+	out = appendChunk(out, gb)
+	return out
+}
+
+// UnmarshalPublic parses parameters produced by Marshal.
+func UnmarshalPublic(data []byte) (*PublicParams, error) {
+	nb, rest, err := readChunk(data)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: parse modulus: %w", err)
+	}
+	gb, _, err := readChunk(rest)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: parse generator: %w", err)
+	}
+	pp := &PublicParams{N: new(big.Int).SetBytes(nb), G: new(big.Int).SetBytes(gb)}
+	if pp.N.Sign() <= 0 || pp.G.Sign() <= 0 || pp.G.Cmp(pp.N) >= 0 {
+		return nil, errors.New("accumulator: invalid parameter encoding")
+	}
+	return pp, nil
+}
+
+// Size returns the byte width of accumulator values and witnesses.
+func (pp *PublicParams) Size() int { return (pp.N.BitLen() + 7) / 8 }
+
+// EncodeValue serializes an accumulator value or witness at fixed width.
+func (pp *PublicParams) EncodeValue(v *big.Int) []byte {
+	return v.FillBytes(make([]byte, pp.Size()))
+}
+
+// DecodeValue parses a fixed-width accumulator value or witness.
+func (pp *PublicParams) DecodeValue(data []byte) (*big.Int, error) {
+	if len(data) != pp.Size() {
+		return nil, fmt.Errorf("accumulator: value must be %d bytes, got %d", pp.Size(), len(data))
+	}
+	v := new(big.Int).SetBytes(data)
+	if v.Sign() <= 0 || v.Cmp(pp.N) >= 0 {
+		return nil, errors.New("accumulator: value outside Z_n*")
+	}
+	return v, nil
+}
+
+func appendChunk(dst, chunk []byte) []byte {
+	dst = append(dst, byte(len(chunk)>>24), byte(len(chunk)>>16), byte(len(chunk)>>8), byte(len(chunk)))
+	return append(dst, chunk...)
+}
+
+func readChunk(data []byte) (chunk, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, errors.New("short length prefix")
+	}
+	n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+	if n < 0 || len(data)-4 < n {
+		return nil, nil, errors.New("truncated chunk")
+	}
+	return data[4 : 4+n], data[4+n:], nil
+}

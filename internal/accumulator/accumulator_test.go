@@ -1,0 +1,276 @@
+package accumulator
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"slicer/internal/hprime"
+)
+
+const testBits = 256
+
+func setupParams(t *testing.T) *Params {
+	t.Helper()
+	p, err := Setup(testBits)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	return p
+}
+
+func testPrimes(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = hprime.Hash([]byte(fmt.Sprintf("acc-test-%d", i)))
+	}
+	return out
+}
+
+func TestSetupRejectsTiny(t *testing.T) {
+	if _, err := Setup(16); err == nil {
+		t.Error("16-bit modulus accepted")
+	}
+}
+
+func TestMembershipRoundTrip(t *testing.T) {
+	p := setupParams(t)
+	pp := p.Public()
+	primes := testPrimes(16)
+	ac := pp.Accumulate(primes)
+	for i, x := range primes {
+		w, err := pp.MemWit(primes, x)
+		if err != nil {
+			t.Fatalf("MemWit(%d): %v", i, err)
+		}
+		if !pp.VerifyMem(ac, x, w) {
+			t.Errorf("witness for element %d rejected", i)
+		}
+	}
+}
+
+func TestNonMemberRejected(t *testing.T) {
+	p := setupParams(t)
+	pp := p.Public()
+	primes := testPrimes(8)
+	ac := pp.Accumulate(primes)
+	outsider := hprime.Hash([]byte("not-a-member"))
+	if _, err := pp.MemWit(primes, outsider); err == nil {
+		t.Error("MemWit produced a witness for a non-member")
+	}
+	// A witness for one member must not verify another member.
+	w0, err := pp.MemWit(primes, primes[0])
+	if err != nil {
+		t.Fatalf("MemWit: %v", err)
+	}
+	if pp.VerifyMem(ac, primes[1], w0) {
+		t.Error("witness transferred across members")
+	}
+	if pp.VerifyMem(ac, outsider, w0) {
+		t.Error("witness validated a non-member")
+	}
+}
+
+func TestVerifyMemRejectsDegenerateWitnesses(t *testing.T) {
+	p := setupParams(t)
+	pp := p.Public()
+	primes := testPrimes(4)
+	ac := pp.Accumulate(primes)
+	if pp.VerifyMem(ac, primes[0], big.NewInt(0)) {
+		t.Error("zero witness accepted")
+	}
+	if pp.VerifyMem(ac, primes[0], new(big.Int).Set(pp.N)) {
+		t.Error("witness == N accepted")
+	}
+	if pp.VerifyMem(ac, primes[0], nil) {
+		t.Error("nil witness accepted")
+	}
+	if pp.VerifyMem(nil, primes[0], big.NewInt(2)) {
+		t.Error("nil accumulation value accepted")
+	}
+}
+
+func TestFastAccumulateMatchesPublic(t *testing.T) {
+	p := setupParams(t)
+	primes := testPrimes(32)
+	slow := p.Public().Accumulate(primes)
+	fast, err := p.AccumulateFast(primes)
+	if err != nil {
+		t.Fatalf("AccumulateFast: %v", err)
+	}
+	if slow.Cmp(fast) != 0 {
+		t.Error("fast and public accumulation disagree")
+	}
+}
+
+func TestAddAndAddFastMatchFullRecompute(t *testing.T) {
+	p := setupParams(t)
+	pp := p.Public()
+	primes := testPrimes(24)
+	base, extra := primes[:16], primes[16:]
+	ac := pp.Accumulate(base)
+	full := pp.Accumulate(primes)
+	incr := pp.Add(ac, extra)
+	if full.Cmp(incr) != 0 {
+		t.Error("incremental Add diverges from full recompute")
+	}
+	fast, err := p.AddFast(ac, extra)
+	if err != nil {
+		t.Fatalf("AddFast: %v", err)
+	}
+	if full.Cmp(fast) != 0 {
+		t.Error("AddFast diverges from full recompute")
+	}
+}
+
+func TestRootFactorMatchesMemWit(t *testing.T) {
+	p := setupParams(t)
+	pp := p.Public()
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		primes := testPrimes(n)
+		ws := pp.RootFactor(primes)
+		if len(ws) != n {
+			t.Fatalf("RootFactor returned %d witnesses for %d primes", len(ws), n)
+		}
+		for i := range primes {
+			want, err := pp.MemWit(primes, primes[i])
+			if err != nil {
+				t.Fatalf("MemWit: %v", err)
+			}
+			if ws[i].Cmp(want) != 0 {
+				t.Errorf("n=%d: RootFactor witness %d disagrees with MemWit", n, i)
+			}
+		}
+	}
+	if pp.RootFactor(nil) != nil {
+		t.Error("RootFactor(nil) should be nil")
+	}
+}
+
+func TestRootFactorParallelMatchesSerial(t *testing.T) {
+	p := setupParams(t)
+	pp := p.Public()
+	for _, n := range []int{1, 2, 5, 33, 128} {
+		primes := testPrimes(n)
+		serial := pp.RootFactor(primes)
+		for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+			parallel := pp.RootFactorParallel(primes, workers)
+			if len(parallel) != len(serial) {
+				t.Fatalf("n=%d workers=%d: %d witnesses, want %d", n, workers, len(parallel), len(serial))
+			}
+			for i := range serial {
+				if parallel[i].Cmp(serial[i]) != 0 {
+					t.Fatalf("n=%d workers=%d: witness %d differs", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicateMemberWitness(t *testing.T) {
+	// A prime accumulated twice: the witness must carry the *other*
+	// occurrence so verification still passes.
+	p := setupParams(t)
+	pp := p.Public()
+	x := hprime.Hash([]byte("dup"))
+	primes := []*big.Int{x, x}
+	ac := pp.Accumulate(primes)
+	w, err := pp.MemWit(primes, x)
+	if err != nil {
+		t.Fatalf("MemWit: %v", err)
+	}
+	if !pp.VerifyMem(ac, x, w) {
+		t.Error("duplicate-member witness rejected")
+	}
+}
+
+func TestPublicStripsTrapdoor(t *testing.T) {
+	p := setupParams(t)
+	if !p.HasTrapdoor() {
+		t.Fatal("fresh setup lost its trapdoor")
+	}
+	pub := &Params{PublicParams: *p.Public()}
+	if pub.HasTrapdoor() {
+		t.Error("Public() leaked the trapdoor")
+	}
+	if _, err := pub.AccumulateFast(testPrimes(2)); err == nil {
+		t.Error("fast path worked without the trapdoor")
+	}
+}
+
+func TestMarshalPublicRoundTrip(t *testing.T) {
+	p := setupParams(t)
+	pp2, err := UnmarshalPublic(p.Public().Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalPublic: %v", err)
+	}
+	if pp2.N.Cmp(p.N) != 0 || pp2.G.Cmp(p.G) != 0 {
+		t.Error("public parameter round trip mismatch")
+	}
+}
+
+func TestMarshalSecretRoundTrip(t *testing.T) {
+	p := setupParams(t)
+	blob, err := p.MarshalSecret()
+	if err != nil {
+		t.Fatalf("MarshalSecret: %v", err)
+	}
+	p2, err := UnmarshalSecret(blob)
+	if err != nil {
+		t.Fatalf("UnmarshalSecret: %v", err)
+	}
+	primes := testPrimes(8)
+	a, err := p.AccumulateFast(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p2.AccumulateFast(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) != 0 {
+		t.Error("decoded parameters accumulate differently")
+	}
+}
+
+func TestEncodeDecodeValue(t *testing.T) {
+	p := setupParams(t)
+	pp := p.Public()
+	ac := pp.Accumulate(testPrimes(4))
+	enc := pp.EncodeValue(ac)
+	if len(enc) != pp.Size() {
+		t.Errorf("encoded width %d, want %d", len(enc), pp.Size())
+	}
+	got, err := pp.DecodeValue(enc)
+	if err != nil {
+		t.Fatalf("DecodeValue: %v", err)
+	}
+	if got.Cmp(ac) != 0 {
+		t.Error("value round trip mismatch")
+	}
+	if _, err := pp.DecodeValue(enc[1:]); err == nil {
+		t.Error("short value accepted")
+	}
+	if _, err := pp.DecodeValue(make([]byte, pp.Size())); err == nil {
+		t.Error("zero value accepted")
+	}
+}
+
+func TestSetupSafePrimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("safe-prime generation is slow")
+	}
+	p, err := SetupSafe(128)
+	if err != nil {
+		t.Fatalf("SetupSafe: %v", err)
+	}
+	primes := testPrimes(4)
+	ac := p.Public().Accumulate(primes)
+	w, err := p.Public().MemWit(primes, primes[2])
+	if err != nil {
+		t.Fatalf("MemWit: %v", err)
+	}
+	if !p.Public().VerifyMem(ac, primes[2], w) {
+		t.Error("safe-prime accumulator rejects a valid witness")
+	}
+}

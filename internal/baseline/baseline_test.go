@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slicer/internal/core"
+	"slicer/internal/prf"
+	"slicer/internal/workload"
+)
+
+func TestOPEPreservesOrder(t *testing.T) {
+	ope := NewOPE(1)
+	f := func(a, b uint16) bool {
+		ca, err := ope.Encrypt(uint64(a))
+		if err != nil {
+			return false
+		}
+		cb, err := ope.Encrypt(uint64(b))
+		if err != nil {
+			return false
+		}
+		switch {
+		case a < b:
+			return ope.Compare(ca, cb) == -1
+		case a > b:
+			return ope.Compare(ca, cb) == 1
+		default:
+			return ope.Compare(ca, cb) == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOPEDeterministicPerPlaintext(t *testing.T) {
+	ope := NewOPE(2)
+	c1, err := ope.Encrypt(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ope.Encrypt(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("re-encryption changed the code")
+	}
+	if ope.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ope.Len())
+	}
+}
+
+func TestOPEInsertionBetweenNeighbors(t *testing.T) {
+	ope := NewOPE(3)
+	// Encrypt out of order and verify order holds afterwards.
+	values := []uint64{100, 1, 50, 75, 25, 60, 99, 2}
+	codes := make(map[uint64]uint64, len(values))
+	for _, v := range values {
+		c, err := ope.Encrypt(v)
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", v, err)
+		}
+		codes[v] = c
+	}
+	for _, a := range values {
+		for _, b := range values {
+			if (a < b) != (codes[a] < codes[b]) && a != b {
+				t.Fatalf("order broken between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func newCLWW(t *testing.T, bits int) *CLWW {
+	t.Helper()
+	key, err := prf.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCLWW(key, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCLWWExhaustiveSmallDomain(t *testing.T) {
+	c := newCLWW(t, 5)
+	cts := make([]CLWWCiphertext, 32)
+	for v := range cts {
+		ct, err := c.Encrypt(uint64(v))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", v, err)
+		}
+		cts[v] = ct
+	}
+	for a := 0; a < 32; a++ {
+		for b := 0; b < 32; b++ {
+			want := 0
+			if a < b {
+				want = -1
+			} else if a > b {
+				want = 1
+			}
+			if got := Compare(cts[a], cts[b]); got != want {
+				t.Fatalf("Compare(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCLWWProperty64(t *testing.T) {
+	c := newCLWW(t, 64)
+	f := func(a, b uint64) bool {
+		ca, err := c.Encrypt(a)
+		if err != nil {
+			return false
+		}
+		cb, err := c.Encrypt(b)
+		if err != nil {
+			return false
+		}
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		return Compare(ca, cb) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCLWWValidation(t *testing.T) {
+	key, err := prf.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCLWW(key, 0); err == nil {
+		t.Error("zero bits accepted")
+	}
+	c, err := NewCLWW(key, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encrypt(256); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if c.CiphertextSize() != 8 {
+		t.Errorf("CiphertextSize = %d", c.CiphertextSize())
+	}
+}
+
+func TestTraversalMatchesSORE(t *testing.T) {
+	params := core.Params{Bits: 8, TrapdoorBits: 256, AccumulatorBits: 256}
+	owner, err := core.NewOwner(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := workload.Generate(workload.Config{N: 80, Bits: 8, Seed: 11})
+	built, err := owner.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := core.NewCloud(owner.CloudInit(built.Index), core.WitnessCached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trav := NewTraversal(user, cloud, 8)
+
+	ids, tokens, err := trav.RangeSearch("", 50, 150)
+	if err != nil {
+		t.Fatalf("RangeSearch: %v", err)
+	}
+	want := make(map[uint64]bool)
+	for _, rec := range db {
+		v := rec.Attrs[0].Value
+		if v >= 50 && v <= 150 {
+			want[rec.ID] = true
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("traversal found %d ids, want %d", len(ids), len(want))
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("traversal returned wrong id %d", id)
+		}
+	}
+	if tokens == 0 || tokens > 101 {
+		t.Errorf("token count %d outside (0,101]", tokens)
+	}
+	if _, _, err := trav.RangeSearch("", 10, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"slicer/internal/prf"
+)
+
+// CLWW implements the practical order-revealing encryption of Chenette,
+// Lewi, Weis and Wu (FSE 2016): for each bit position i the ciphertext
+// holds u_i = F(k, prefix_i) + b_i (mod 3). Two ciphertexts are compared by
+// scanning for the first position where the components differ; the
+// difference mod 3 reveals which plaintext is larger. Leakage: the index of
+// the first differing bit — the same class of leakage as SORE, but
+// comparison is positional rather than set-membership, so it cannot be
+// turned into keyword lookups the way SORE's tuples can.
+type CLWW struct {
+	key  prf.Key
+	bits int
+}
+
+// CLWWCiphertext is a per-bit mod-3 component vector.
+type CLWWCiphertext []uint8
+
+// NewCLWW creates a scheme over b-bit values.
+func NewCLWW(key prf.Key, bits int) (*CLWW, error) {
+	if bits < 1 || bits > 64 {
+		return nil, fmt.Errorf("baseline: CLWW bit width must be in [1,64], got %d", bits)
+	}
+	return &CLWW{key: key, bits: bits}, nil
+}
+
+// Encrypt produces the b-component ciphertext of v.
+func (c *CLWW) Encrypt(v uint64) (CLWWCiphertext, error) {
+	if c.bits < 64 && v >= 1<<uint(c.bits) {
+		return nil, fmt.Errorf("baseline: value %d exceeds %d bits", v, c.bits)
+	}
+	ct := make(CLWWCiphertext, c.bits)
+	for i := 1; i <= c.bits; i++ {
+		prefix := uint64(0)
+		if i > 1 {
+			prefix = v >> uint(c.bits-i+1)
+		}
+		bit := (v >> uint(c.bits-i)) & 1
+		var msg [9]byte
+		msg[0] = byte(i)
+		binary.BigEndian.PutUint64(msg[1:], prefix)
+		u := c.key.Eval(msg[:])
+		ct[i-1] = uint8((uint64(u[0]) + bit) % 3)
+	}
+	return ct, nil
+}
+
+// Compare orders two ciphertexts: -1 if the first is smaller, 1 if larger,
+// 0 if equal.
+func Compare(a, b CLWWCiphertext) int {
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		if a[i] == b[i] {
+			continue
+		}
+		if (a[i]+1)%3 == b[i] {
+			return -1 // b's bit was 1 where a's was 0
+		}
+		return 1
+	}
+	return 0
+}
+
+// CiphertextSize reports the byte size of a ciphertext.
+func (c *CLWW) CiphertextSize() int { return c.bits }

@@ -1,0 +1,124 @@
+// Package baseline implements the comparison schemes discussed by the
+// paper's related work (§II-B), used by the ablation benchmarks:
+//
+//   - OPE: a stateful order-preserving encoder in the spirit of Boldyreva
+//     et al. [21] / CryptDB [22] — ciphertext order equals plaintext order,
+//     so range search is trivial but the full order of the dataset leaks.
+//   - CLWW ORE: the practical order-revealing encryption of Chenette et
+//     al. [23] — per-bit ciphertexts compared positionally, leaking the
+//     index of the first differing bit.
+//   - Traversal: the strawman the paper's introduction rules out — range
+//     search by issuing one keyword (equality) query per value in the
+//     range.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// OPE is a stateful order-preserving encoder: plaintexts are mapped to
+// codes in a much larger domain such that plaintext order is preserved.
+// New plaintexts are inserted by splitting the gap between their
+// neighbours' codes uniformly at random (mutable OPE). The encoder is the
+// secret state; anyone holding only ciphertexts still learns the total
+// order, which is exactly the leakage the paper's SORE avoids amplifying.
+type OPE struct {
+	rng   *rand.Rand
+	codes map[uint64]uint64 // plaintext -> code
+	used  []uint64          // sorted plaintexts
+	space uint64            // code domain upper bound
+}
+
+// ErrOPEExhausted indicates no code gap remains between two neighbours.
+var ErrOPEExhausted = errors.New("baseline: OPE code space exhausted")
+
+// NewOPE creates an encoder with a 2^48 code space.
+func NewOPE(seed int64) *OPE {
+	return &OPE{
+		rng:   rand.New(rand.NewSource(seed)),
+		codes: make(map[uint64]uint64),
+		space: 1 << 48,
+	}
+}
+
+// Encrypt maps a plaintext to its order-preserving code, assigning a fresh
+// code on first use. New codes split the neighbouring gap at its midpoint;
+// when a gap collapses, the whole code table is rebalanced (the standard
+// mutable-OPE maintenance step, which in a deployed system would require
+// re-encrypting the affected ciphertexts).
+func (o *OPE) Encrypt(v uint64) (uint64, error) {
+	if c, ok := o.codes[v]; ok {
+		return c, nil
+	}
+	idx := sort.Search(len(o.used), func(i int) bool { return o.used[i] >= v })
+	code, err := o.gapCode(idx)
+	if err != nil {
+		o.rebalance()
+		if code, err = o.gapCode(idx); err != nil {
+			return 0, err // more plaintexts than code space
+		}
+	}
+	o.codes[v] = code
+	o.used = append(o.used, 0)
+	copy(o.used[idx+1:], o.used[idx:])
+	o.used[idx] = v
+	return code, nil
+}
+
+// gapCode picks the midpoint of the code gap a new plaintext at sorted
+// position idx would occupy.
+func (o *OPE) gapCode(idx int) (uint64, error) {
+	lo := uint64(0)
+	hi := o.space
+	if idx > 0 {
+		lo = o.codes[o.used[idx-1]] + 1
+	}
+	if idx < len(o.used) {
+		hi = o.codes[o.used[idx]]
+	}
+	if lo >= hi {
+		return 0, fmt.Errorf("%w: between %d and %d", ErrOPEExhausted, lo, hi)
+	}
+	gap := hi - lo
+	code := lo + gap/2
+	// Jitter within the middle half of the gap so codes are not a pure
+	// function of insertion order, without giving up the balanced-split
+	// depth guarantee.
+	if quarter := gap / 4; quarter > 0 {
+		code = lo + quarter + uint64(o.rng.Int63n(int64(gap-2*quarter)))
+	}
+	return code, nil
+}
+
+// rebalance reassigns all codes evenly across the space, preserving order.
+func (o *OPE) rebalance() {
+	if len(o.used) == 0 {
+		return
+	}
+	step := o.space / uint64(len(o.used)+1)
+	if step == 0 {
+		return
+	}
+	for i, v := range o.used {
+		o.codes[v] = step * uint64(i+1)
+	}
+}
+
+// Compare orders two OPE ciphertexts: -1, 0 or 1. It is a plain integer
+// comparison — the whole point and the whole leakage of OPE.
+func (o *OPE) Compare(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Len reports how many distinct plaintexts have been encoded.
+func (o *OPE) Len() int { return len(o.used) }

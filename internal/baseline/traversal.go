@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"fmt"
+
+	"slicer/internal/core"
+)
+
+// Traversal is the strawman numerical range search the paper's introduction
+// dismisses as "totally infeasible": treat every possible value as a
+// keyword and answer a range query by issuing one equality search per value
+// in the range. It reuses Slicer's own equality machinery, so the ablation
+// benchmark compares exactly the cost the SORE slicing removes: O(|range|)
+// tokens and index probes versus O(b).
+type Traversal struct {
+	user  *core.User
+	cloud *core.Cloud
+	bits  int
+}
+
+// NewTraversal wraps an existing user/cloud pair.
+func NewTraversal(user *core.User, cloud *core.Cloud, bits int) *Traversal {
+	return &Traversal{user: user, cloud: cloud, bits: bits}
+}
+
+// RangeSearch answers [lo, hi] by per-value equality queries. The returned
+// token count is the number of equality tokens actually issued (values
+// never inserted produce none).
+func (t *Traversal) RangeSearch(attr string, lo, hi uint64) (ids []uint64, tokensIssued int, err error) {
+	if lo > hi {
+		return nil, 0, fmt.Errorf("baseline: empty range [%d,%d]", lo, hi)
+	}
+	seen := make(map[uint64]struct{})
+	for v := lo; ; v++ {
+		req, err := t.user.Token(core.Query{Attr: attr, Op: core.OpEqual, Value: v})
+		if err != nil {
+			return nil, tokensIssued, err
+		}
+		tokensIssued += len(req.Tokens)
+		if len(req.Tokens) > 0 {
+			resp, err := t.cloud.Search(req)
+			if err != nil {
+				return nil, tokensIssued, err
+			}
+			got, err := t.user.Decrypt(resp)
+			if err != nil {
+				return nil, tokensIssued, err
+			}
+			for _, id := range got {
+				seen[id] = struct{}{}
+			}
+		}
+		if v == hi {
+			break
+		}
+	}
+	ids = make([]uint64, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	return ids, tokensIssued, nil
+}

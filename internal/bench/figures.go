@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"slicer/internal/core"
+	"slicer/internal/workload"
+)
+
+// Fig3a reproduces Fig. 3a: time cost of index building vs record count.
+func (r *Runner) Fig3a() (*Table, error) {
+	t := &Table{
+		ID:      "fig3a",
+		Title:   "Build: index building time",
+		Headers: append([]string{"records"}, bitHeaders(r.scale.Bits)...),
+	}
+	for _, count := range r.scale.Counts {
+		row := []string{strconv.Itoa(count)}
+		for _, bits := range r.scale.Bits {
+			d, err := r.ensure(bits, count)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(d.stats.IndexDuration))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("expected shape: linear in record count for every bit setting (paper Fig. 3a)")
+	return t, nil
+}
+
+// Fig3b reproduces Fig. 3b: time cost of ADS building vs record count.
+func (r *Runner) Fig3b() (*Table, error) {
+	t := &Table{
+		ID:      "fig3b",
+		Title:   "Build: ADS building time",
+		Headers: append([]string{"records"}, bitHeaders(r.scale.Bits)...),
+	}
+	for _, count := range r.scale.Counts {
+		row := []string{strconv.Itoa(count)}
+		for _, bits := range r.scale.Bits {
+			d, err := r.ensure(bits, count)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(d.stats.ADSDuration))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("expected shape: ~constant for 8-bit (saturated value space), growing for 16/24-bit (paper Fig. 3b)")
+	return t, nil
+}
+
+// Fig4a reproduces Fig. 4a: index storage cost.
+func (r *Runner) Fig4a() (*Table, error) {
+	t := &Table{
+		ID:      "fig4a",
+		Title:   "Build: index storage",
+		Headers: append([]string{"records"}, bitHeaders(r.scale.Bits)...),
+	}
+	for _, count := range r.scale.Counts {
+		row := []string{strconv.Itoa(count)}
+		for _, bits := range r.scale.Bits {
+			d, err := r.ensure(bits, count)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtMB(d.cloud.IndexSizeBytes()))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("expected shape: proportional to record count (each record maps to b+1 fixed-size entries)")
+	return t, nil
+}
+
+// Fig4b reproduces Fig. 4b: ADS (prime list) storage cost.
+func (r *Runner) Fig4b() (*Table, error) {
+	t := &Table{
+		ID:      "fig4b",
+		Title:   "Build: ADS storage (prime list X)",
+		Headers: append([]string{"records"}, bitHeaders(r.scale.Bits)...),
+	}
+	for _, count := range r.scale.Counts {
+		row := []string{strconv.Itoa(count)}
+		for _, bits := range r.scale.Bits {
+			d, err := r.ensure(bits, count)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtMB(d.cloud.ADSSizeBytes()))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("expected shape: constant for 8-bit (value space saturated), linear-then-flattening for wider values")
+	return t, nil
+}
+
+// Fig5a / Fig5b / Fig5c / Fig5d reproduce the search time figures: result
+// generation and VO generation for equality and order queries.
+func (r *Runner) Fig5a() (*Table, error) { return r.searchFigure("fig5a", core.OpEqual, false) }
+func (r *Runner) Fig5b() (*Table, error) { return r.searchFigure("fig5b", core.OpEqual, true) }
+func (r *Runner) Fig5c() (*Table, error) { return r.searchFigure("fig5c", core.OpLess, false) }
+func (r *Runner) Fig5d() (*Table, error) { return r.searchFigure("fig5d", core.OpLess, true) }
+
+func (r *Runner) searchFigure(id string, op core.Op, vo bool) (*Table, error) {
+	kind := "equality"
+	bits := r.scale.Bits
+	if op != core.OpEqual {
+		kind = "order"
+		bits = r.scale.OrderBits
+	}
+	phase := "result generation"
+	if vo {
+		phase = "VO generation"
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Search: %s time, %s search", phase, kind),
+		Headers: append([]string{"records"}, bitHeaders(bits)...),
+	}
+	for _, count := range r.scale.Counts {
+		row := []string{strconv.Itoa(count)}
+		for _, b := range bits {
+			m, err := r.searchPoint(b, count, op)
+			if err != nil {
+				return nil, err
+			}
+			if vo {
+				row = append(row, fmtDur(m.voGen))
+			} else {
+				row = append(row, fmtDur(m.resultGen))
+			}
+		}
+		t.AddRow(row...)
+	}
+	if vo {
+		t.AddNote("VO generation computes one accumulator membership witness per token (Algorithm 4, on-demand mode)")
+	}
+	t.AddNote("averaged over %d random %s queries per point", r.scale.Queries, kind)
+	return t, nil
+}
+
+// searchPoint memoizes per-(bits,count,op) measurements so the four Fig. 5
+// sub-figures and the Fig. 6 overhead sweep do not re-run the queries.
+func (r *Runner) searchPoint(bits, count int, op core.Op) (searchMetrics, error) {
+	key := searchKey{bits: bits, count: count, equality: op == core.OpEqual}
+	if m, ok := r.searchCache[key]; ok {
+		return m, nil
+	}
+	d, err := r.ensure(bits, count)
+	if err != nil {
+		return searchMetrics{}, err
+	}
+	r.progress("searching (%s) %d-bit / %d records ...", map[bool]string{true: "equality", false: "order"}[key.equality], bits, count)
+	m, err := r.measureSearch(d, bits, op)
+	if err != nil {
+		return searchMetrics{}, err
+	}
+	if r.searchCache == nil {
+		r.searchCache = make(map[searchKey]searchMetrics)
+	}
+	r.searchCache[key] = m
+	return m, nil
+}
+
+type searchKey struct {
+	bits     int
+	count    int
+	equality bool
+}
+
+// Fig6a reproduces Fig. 6a: number of search tokens per order query.
+func (r *Runner) Fig6a() (*Table, error) {
+	t := &Table{
+		ID:      "fig6a",
+		Title:   "Search overhead: search tokens per order query",
+		Headers: append([]string{"records"}, bitHeaders(r.scale.OrderBits)...),
+	}
+	for _, count := range r.scale.Counts {
+		row := []string{strconv.Itoa(count)}
+		for _, bits := range r.scale.OrderBits {
+			m, err := r.searchPoint(bits, count, core.OpLess)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", m.tokens))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("bounded by the bit count b; 16-bit grows with records as the value space fills (paper Fig. 6a)")
+	return t, nil
+}
+
+// Fig6b / Fig6c reproduce the encrypted-result size figures.
+func (r *Runner) Fig6b() (*Table, error) { return r.resultSizeFigure("fig6b", core.OpEqual) }
+func (r *Runner) Fig6c() (*Table, error) { return r.resultSizeFigure("fig6c", core.OpLess) }
+
+func (r *Runner) resultSizeFigure(id string, op core.Op) (*Table, error) {
+	kind := "equality"
+	bits := r.scale.Bits
+	if op != core.OpEqual {
+		kind = "order"
+		bits = r.scale.OrderBits
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Search overhead: encrypted result size, %s search", kind),
+		Headers: append([]string{"records"}, bitHeaders(bits)...),
+	}
+	for _, count := range r.scale.Counts {
+		row := []string{strconv.Itoa(count)}
+		for _, b := range bits {
+			m, err := r.searchPoint(b, count, op)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0fB (%.0f rec)", m.resultBytes, m.matched))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("proportional to matched records (16 bytes per encrypted handle)")
+	return t, nil
+}
+
+// Fig6d reproduces Fig. 6d: verification object size per order query.
+func (r *Runner) Fig6d() (*Table, error) {
+	t := &Table{
+		ID:      "fig6d",
+		Title:   "Search overhead: verification object size per order query",
+		Headers: append([]string{"records"}, bitHeaders(r.scale.OrderBits)...),
+	}
+	for _, count := range r.scale.Counts {
+		row := []string{strconv.Itoa(count)}
+		for _, bits := range r.scale.OrderBits {
+			m, err := r.searchPoint(bits, count, core.OpLess)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0fB", m.voBytes))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("one constant-size witness (%d bytes) per token; levels off once all b slices exist", r.scale.AccumulatorBits/8)
+	return t, nil
+}
+
+// Fig7a / Fig7b reproduce the insertion time figures: index update and ADS
+// update time after pre-loading InsertPreload records.
+func (r *Runner) Fig7a() (*Table, error) { return r.insertFigure("fig7a", false) }
+func (r *Runner) Fig7b() (*Table, error) { return r.insertFigure("fig7b", true) }
+
+func (r *Runner) insertFigure(id string, ads bool) (*Table, error) {
+	phase := "index"
+	if ads {
+		phase = "ADS"
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Insert: %s update time (preload %d records)", phase, r.scale.InsertPreload),
+		Headers: append([]string{"inserted"}, bitHeaders(r.scale.Bits)...),
+	}
+	// Measure all batch sizes per bit setting on one preloaded owner (each
+	// batch inserts fresh IDs, so later batches see a larger state — the
+	// paper's setup preloads once too).
+	for _, bits := range r.scale.Bits {
+		if err := r.insertSweep(bits); err != nil {
+			return nil, err
+		}
+	}
+	for i, inserted := range r.scale.InsertCounts {
+		row := []string{strconv.Itoa(inserted)}
+		for _, bits := range r.scale.Bits {
+			var d time.Duration
+			if ads {
+				d = r.insertStats[insertKey{bits, i}].ADSDuration
+			} else {
+				d = r.insertStats[insertKey{bits, i}].IndexDuration
+			}
+			row = append(row, fmtDur(d))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("expected shape: proportional to inserted batch size; ADS cost grows with bit count (paper Fig. 7)")
+	return t, nil
+}
+
+type insertKey struct {
+	bits  int
+	batch int
+}
+
+// insertSweep preloads a deployment and times each insert batch, memoizing
+// the per-batch stats for both Fig. 7 sub-figures.
+func (r *Runner) insertSweep(bits int) error {
+	if r.insertStats == nil {
+		r.insertStats = make(map[insertKey]core.UpdateStats)
+	}
+	if _, done := r.insertStats[insertKey{bits, 0}]; done {
+		return nil
+	}
+	r.progress("insert sweep %d-bit (preload %d) ...", bits, r.scale.InsertPreload)
+	preload := workload.Generate(workload.Config{
+		N:    r.scale.InsertPreload,
+		Bits: bits,
+		Dist: workload.Uniform,
+		Seed: int64(bits) * 31,
+	})
+	owner, err := core.NewOwner(r.scale.Params(bits))
+	if err != nil {
+		return err
+	}
+	if _, err := owner.Build(preload); err != nil {
+		return err
+	}
+	nextID := uint64(r.scale.InsertPreload) + 1
+	for i, batch := range r.scale.InsertCounts {
+		records := workload.Generate(workload.Config{
+			N:       batch,
+			Bits:    bits,
+			Dist:    workload.Uniform,
+			Seed:    int64(bits)*97 + int64(i),
+			FirstID: nextID,
+		})
+		nextID += uint64(batch)
+		if _, err := owner.Insert(records); err != nil {
+			return err
+		}
+		r.insertStats[insertKey{bits, i}] = owner.LastStats()
+	}
+	return nil
+}
+
+func bitHeaders(bits []int) []string {
+	out := make([]string, len(bits))
+	for i, b := range bits {
+		out[i] = fmt.Sprintf("%d-bit", b)
+	}
+	return out
+}

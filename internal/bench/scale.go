@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"slicer/internal/core"
+)
+
+// Scale fixes an experiment sweep. Quick finishes in minutes on a laptop;
+// Full reproduces the paper's exact record counts (and takes correspondingly
+// long — the paper's own 24-bit ADS builds were the slow case too).
+type Scale struct {
+	Name string
+	// Counts is the record-count sweep (x axis of Figs. 3–6).
+	Counts []int
+	// Bits are the value widths evaluated.
+	Bits []int
+	// OrderBits restricts the order-search figures (the paper plots 8/16).
+	OrderBits []int
+	// InsertPreload is the record count pre-loaded before Fig. 7.
+	InsertPreload int
+	// InsertCounts is the inserted-batch sweep of Fig. 7.
+	InsertCounts []int
+	// Queries is how many random queries each search point averages over.
+	Queries int
+	// TrapdoorBits / AccumulatorBits size the RSA moduli.
+	TrapdoorBits    int
+	AccumulatorBits int
+}
+
+// Quick is the default scaled-down sweep.
+var Quick = Scale{
+	Name:            "quick",
+	Counts:          []int{1000, 2000, 4000, 8000},
+	Bits:            []int{8, 16},
+	OrderBits:       []int{8, 16},
+	InsertPreload:   8000,
+	InsertCounts:    []int{250, 500, 1000, 2000},
+	Queries:         5,
+	TrapdoorBits:    512,
+	AccumulatorBits: 512,
+}
+
+// Full mirrors the paper's sweep (10K–160K records, 8/16/24-bit values).
+var Full = Scale{
+	Name:            "full",
+	Counts:          []int{10000, 20000, 40000, 80000, 160000},
+	Bits:            []int{8, 16, 24},
+	OrderBits:       []int{8, 16},
+	InsertPreload:   160000,
+	InsertCounts:    []int{2000, 4000, 8000, 16000, 32000},
+	Queries:         5,
+	TrapdoorBits:    1024,
+	AccumulatorBits: 1024,
+}
+
+// ScaleByName resolves a scale flag value.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "", "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Scale{}, fmt.Errorf("bench: unknown scale %q (want quick or full)", name)
+	}
+}
+
+// Params builds core parameters for a bit width under this scale.
+func (s Scale) Params(bits int) core.Params {
+	return core.Params{
+		Bits:            bits,
+		TrapdoorBits:    s.TrapdoorBits,
+		AccumulatorBits: s.AccumulatorBits,
+	}
+}

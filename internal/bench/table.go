@@ -1,0 +1,110 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§VII), plus the ablation experiments
+// DESIGN.md calls out. Each experiment returns a Table whose rows mirror
+// the series the paper plots; cmd/slicer-bench prints them and
+// EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of rows.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// FprintCSV renders the table as CSV (headers first, notes as trailing
+// comment lines) for plotting pipelines.
+func (t *Table) FprintCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title)
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			cells[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// FprintMarkdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) FprintMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*note: %s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	total := 2
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,442 @@
+package chain
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestMerkleRootProperties(t *testing.T) {
+	empty := MerkleRoot(nil)
+	single := MerkleRoot([]Hash{HashBytes([]byte("a"))})
+	if empty == single {
+		t.Error("empty and singleton roots collide")
+	}
+	a := []Hash{HashBytes([]byte("a")), HashBytes([]byte("b")), HashBytes([]byte("c"))}
+	b := []Hash{HashBytes([]byte("a")), HashBytes([]byte("c")), HashBytes([]byte("b"))}
+	if MerkleRoot(a) == MerkleRoot(b) {
+		t.Error("leaf order does not affect the root")
+	}
+	if MerkleRoot(a) != MerkleRoot(a) {
+		t.Error("root not deterministic")
+	}
+}
+
+func TestMerkleProofs(t *testing.T) {
+	f := func(seeds []byte) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		leaves := make([]Hash, len(seeds))
+		for i, s := range seeds {
+			leaves[i] = HashBytes([]byte{s, byte(i)})
+		}
+		root := MerkleRoot(leaves)
+		for i := range leaves {
+			proof, err := ProveLeaf(leaves, i)
+			if err != nil {
+				return false
+			}
+			if !VerifyLeaf(root, leaves[i], proof) {
+				return false
+			}
+			// A proof must not validate a different leaf.
+			wrong := HashBytes([]byte("forged"))
+			if VerifyLeaf(root, wrong, proof) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProveLeaf([]Hash{HashBytes(nil)}, 5); err == nil {
+		t.Error("out-of-range proof index accepted")
+	}
+	if VerifyLeaf(HashBytes(nil), HashBytes(nil), nil) {
+		t.Error("nil proof accepted")
+	}
+}
+
+func TestStateJournalRevert(t *testing.T) {
+	st := NewState()
+	a := AddressFromString("a")
+	st.SetBalance(a, 100)
+	st.DiscardJournal()
+
+	cp := st.Checkpoint()
+	st.Credit(a, 50)
+	st.BumpNonce(a)
+	st.SetCode(a, []byte{1, 2, 3})
+	st.SetStorage(a, Slot{1}, Slot{9})
+	preRoot := st.Root()
+	st.Revert(cp)
+	if st.Balance(a) != 100 {
+		t.Errorf("balance after revert = %d, want 100", st.Balance(a))
+	}
+	if st.Nonce(a) != 0 {
+		t.Errorf("nonce after revert = %d, want 0", st.Nonce(a))
+	}
+	if st.Code(a) != nil {
+		t.Error("code survived revert")
+	}
+	if _, ok := st.GetStorage(a, Slot{1}); ok {
+		t.Error("storage survived revert")
+	}
+	if st.Root() == preRoot {
+		t.Error("root unchanged by revert")
+	}
+}
+
+func TestStateNestedRevert(t *testing.T) {
+	st := NewState()
+	a := AddressFromString("a")
+	cp1 := st.Checkpoint()
+	st.SetStorage(a, Slot{1}, Slot{1})
+	cp2 := st.Checkpoint()
+	st.SetStorage(a, Slot{1}, Slot{2})
+	st.Revert(cp2)
+	if v, _ := st.GetStorage(a, Slot{1}); v != (Slot{1}) {
+		t.Errorf("inner revert: slot = %v, want {1}", v)
+	}
+	st.Revert(cp1)
+	if _, ok := st.GetStorage(a, Slot{1}); ok {
+		t.Error("outer revert left storage behind")
+	}
+}
+
+func TestStateDebit(t *testing.T) {
+	st := NewState()
+	a := AddressFromString("a")
+	st.SetBalance(a, 10)
+	if err := st.Debit(a, 11); err == nil {
+		t.Error("overdraft allowed")
+	}
+	if err := st.Debit(a, 10); err != nil {
+		t.Errorf("full debit rejected: %v", err)
+	}
+	if st.Balance(a) != 0 {
+		t.Errorf("balance = %d, want 0", st.Balance(a))
+	}
+}
+
+func TestStateRootCoversEverything(t *testing.T) {
+	base := func() *State {
+		st := NewState()
+		st.SetBalance(AddressFromString("x"), 5)
+		st.SetStorage(AddressFromString("c"), Slot{1}, Slot{2})
+		st.SetCode(AddressFromString("c"), []byte{0xaa})
+		return st
+	}
+	root := base().Root()
+	mutations := []func(*State){
+		func(s *State) { s.Credit(AddressFromString("x"), 1) },
+		func(s *State) { s.BumpNonce(AddressFromString("x")) },
+		func(s *State) { s.SetStorage(AddressFromString("c"), Slot{1}, Slot{3}) },
+		func(s *State) { s.SetStorage(AddressFromString("c"), Slot{2}, Slot{2}) },
+		func(s *State) { s.SetCode(AddressFromString("c"), []byte{0xbb}) },
+		func(s *State) { s.SetBalance(AddressFromString("new"), 1) },
+	}
+	for i, mutate := range mutations {
+		st := base()
+		mutate(st)
+		if st.Root() == root {
+			t.Errorf("mutation %d did not change the state root", i)
+		}
+	}
+	if base().Root() != root {
+		t.Error("identical states have different roots")
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	st := NewState()
+	a := AddressFromString("a")
+	st.SetBalance(a, 7)
+	st.SetStorage(a, Slot{1}, Slot{1})
+	clone := st.Clone()
+	st.SetBalance(a, 9)
+	st.SetStorage(a, Slot{1}, Slot{2})
+	if clone.Balance(a) != 7 {
+		t.Error("clone balance tracked the original")
+	}
+	if v, _ := clone.GetStorage(a, Slot{1}); v != (Slot{1}) {
+		t.Error("clone storage tracked the original")
+	}
+}
+
+func TestIntrinsicGas(t *testing.T) {
+	if got := IntrinsicGas(nil, false); got != TxGas {
+		t.Errorf("empty tx gas = %d, want %d", got, TxGas)
+	}
+	data := []byte{0, 1, 0, 2}
+	want := TxGas + 2*TxDataZeroGas + 2*TxDataNonZeroGas
+	if got := IntrinsicGas(data, false); got != want {
+		t.Errorf("data tx gas = %d, want %d", got, want)
+	}
+	if got := IntrinsicGas(nil, true); got != TxGas+TxCreateGas {
+		t.Errorf("create tx gas = %d, want %d", got, TxGas+TxCreateGas)
+	}
+}
+
+func TestModExpGas(t *testing.T) {
+	// EIP-2565 reference point: 1024-bit base/modulus, 128-bit exponent.
+	exp := new(big.Int).Lsh(big.NewInt(1), 127)
+	got := ModExpGas(128, 128, exp)
+	// words = 16, mult = 256, iters = 127 -> 256*127/3 = 10837.
+	if got != 10837 {
+		t.Errorf("ModExpGas(128,128,2^127) = %d, want 10837", got)
+	}
+	// Floor applies to small inputs.
+	if got := ModExpGas(16, 16, big.NewInt(3)); got != ModExpMinGas {
+		t.Errorf("small modexp = %d, want floor %d", got, ModExpMinGas)
+	}
+	// Long exponents use the extended iteration count (monotone growth).
+	longExp := new(big.Int).Lsh(big.NewInt(1), 300)
+	if ModExpGas(128, 128, longExp) <= got {
+		t.Error("long exponent not priced higher")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(100)
+	if err := m.Use(60); err != nil {
+		t.Fatalf("Use(60): %v", err)
+	}
+	if m.Used() != 60 || m.Remaining() != 40 {
+		t.Errorf("Used=%d Remaining=%d", m.Used(), m.Remaining())
+	}
+	if err := m.Use(41); !errors.Is(err, ErrOutOfGas) {
+		t.Errorf("overuse err = %v, want ErrOutOfGas", err)
+	}
+	if m.Used() != 100 {
+		t.Errorf("Used after out-of-gas = %d, want 100 (all gas burned)", m.Used())
+	}
+}
+
+// newTestNode builds a single-validator node with two funded accounts.
+func newTestNode(t *testing.T) (*Node, Address, Address) {
+	t.Helper()
+	alice := AddressFromString("alice")
+	bob := AddressFromString("bob")
+	val := AddressFromString("val")
+	node, err := NewNode(Config{
+		Identity:   val,
+		Registry:   NewRegistry(),
+		Validators: []Address{val},
+		GenesisAlloc: map[Address]uint64{
+			alice: 1000, bob: 50,
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	return node, alice, bob
+}
+
+func TestTransferAndReceipts(t *testing.T) {
+	node, alice, bob := newTestNode(t)
+	tx := &Transaction{From: alice, To: bob, Nonce: 0, Value: 300, GasLimit: 100000}
+	if err := node.SubmitTx(tx); err != nil {
+		t.Fatalf("SubmitTx: %v", err)
+	}
+	block, err := node.SealBlock()
+	if err != nil {
+		t.Fatalf("SealBlock: %v", err)
+	}
+	if block.Header.Number != 1 || len(block.Txs) != 1 {
+		t.Fatalf("unexpected block: %+v", block.Header)
+	}
+	r, ok := node.Receipt(tx.Hash())
+	if !ok || !r.Status {
+		t.Fatalf("receipt = %+v, %v", r, ok)
+	}
+	if r.GasUsed != TxGas {
+		t.Errorf("transfer gas = %d, want %d", r.GasUsed, TxGas)
+	}
+	if node.Balance(alice) != 700 || node.Balance(bob) != 350 {
+		t.Errorf("balances = %d, %d", node.Balance(alice), node.Balance(bob))
+	}
+}
+
+func TestInsufficientBalanceReverts(t *testing.T) {
+	node, alice, bob := newTestNode(t)
+	tx := &Transaction{From: bob, To: alice, Nonce: 0, Value: 500, GasLimit: 100000}
+	if err := node.SubmitTx(tx); err != nil {
+		t.Fatalf("SubmitTx: %v", err)
+	}
+	if _, err := node.SealBlock(); err != nil {
+		t.Fatalf("SealBlock: %v", err)
+	}
+	r, _ := node.Receipt(tx.Hash())
+	if r.Status {
+		t.Error("overdraft transaction succeeded")
+	}
+	if node.Balance(bob) != 50 {
+		t.Errorf("bob's balance changed: %d", node.Balance(bob))
+	}
+	if node.Nonce(bob) != 1 {
+		t.Errorf("failed tx did not bump the nonce: %d", node.Nonce(bob))
+	}
+}
+
+func TestNonceEnforcement(t *testing.T) {
+	node, alice, bob := newTestNode(t)
+	if err := node.SubmitTx(&Transaction{From: alice, To: bob, Nonce: 5, Value: 1, GasLimit: 100000}); err == nil {
+		t.Error("wrong nonce accepted")
+	}
+	if err := node.SubmitTx(&Transaction{From: alice, To: bob, Nonce: 0, Value: 1, GasLimit: 100000}); err != nil {
+		t.Fatalf("SubmitTx: %v", err)
+	}
+	// NextNonce accounts for pooled txs.
+	if got := node.NextNonce(alice); got != 1 {
+		t.Errorf("NextNonce = %d, want 1", got)
+	}
+	if err := node.SubmitTx(&Transaction{From: alice, To: bob, Nonce: 1, Value: 1, GasLimit: 100000}); err != nil {
+		t.Fatalf("second SubmitTx: %v", err)
+	}
+	if err := node.SubmitTx(&Transaction{From: alice, To: bob, Nonce: 0, Value: 1, GasLimit: 0}); err == nil {
+		t.Error("zero gas limit accepted")
+	}
+}
+
+func TestNetworkConsensus(t *testing.T) {
+	vals := []Address{AddressFromString("v0"), AddressFromString("v1"), AddressFromString("v2")}
+	alice := AddressFromString("alice")
+	bob := AddressFromString("bob")
+	net, err := NewNetwork(NewRegistry(), vals, map[Address]uint64{alice: 1000})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		tx := &Transaction{From: alice, To: bob, Nonce: uint64(i), Value: 10, GasLimit: 100000}
+		if err := net.SubmitTx(tx); err != nil {
+			t.Fatalf("SubmitTx: %v", err)
+		}
+		block, err := net.Step()
+		if err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+		// Round-robin proposers.
+		want := vals[uint64(i)%uint64(len(vals))]
+		if block.Header.Proposer != want {
+			t.Errorf("block %d proposer = %s, want %s", i+1, block.Header.Proposer, want)
+		}
+	}
+	// All nodes agree on height, head hash and state.
+	head := net.Leader().Head().Hash()
+	for _, node := range net.Nodes() {
+		if node.Height() != 5 {
+			t.Errorf("node %s height = %d", node.identity, node.Height())
+		}
+		if node.Head().Hash() != head {
+			t.Errorf("node %s diverged from the head", node.identity)
+		}
+		if node.Balance(bob) != 50 {
+			t.Errorf("node %s balance(bob) = %d, want 50", node.identity, node.Balance(bob))
+		}
+	}
+}
+
+func TestImportBlockValidation(t *testing.T) {
+	vals := []Address{AddressFromString("v0"), AddressFromString("v1")}
+	alice := AddressFromString("alice")
+	net, err := NewNetwork(NewRegistry(), vals, map[Address]uint64{alice: 1000})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	proposer := net.Node(vals[0])
+	follower := net.Node(vals[1])
+	tx := &Transaction{From: alice, To: AddressFromString("bob"), Nonce: 0, Value: 10, GasLimit: 100000}
+	if err := proposer.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	block, err := proposer.SealBlock()
+	if err != nil {
+		t.Fatalf("SealBlock: %v", err)
+	}
+
+	// Tampered value: the tx root no longer matches.
+	tampered := *block
+	tamperedTx := *tx
+	tamperedTx.Value = 999
+	tampered.Txs = []*Transaction{&tamperedTx}
+	if err := follower.ImportBlock(&tampered); err == nil {
+		t.Error("tampered block imported")
+	}
+
+	// Wrong proposer.
+	badProposer := *block
+	badProposer.Header.Proposer = vals[1]
+	if err := follower.ImportBlock(&badProposer); err == nil {
+		t.Error("wrong-proposer block imported")
+	}
+
+	// Wrong state root (tamper after sealing).
+	badRoot := *block
+	badRoot.Header.StateRoot = HashBytes([]byte("bogus"))
+	if err := follower.ImportBlock(&badRoot); err == nil {
+		t.Error("bad-state-root block imported")
+	}
+	// The follower's state must be intact after the rejected imports.
+	if follower.Balance(alice) != 1000 {
+		t.Errorf("follower state corrupted: balance %d", follower.Balance(alice))
+	}
+
+	// The genuine block imports cleanly.
+	if err := follower.ImportBlock(block); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+	if follower.Balance(alice) != 990 {
+		t.Errorf("post-import balance = %d, want 990", follower.Balance(alice))
+	}
+	// Replaying the same block must fail (height check).
+	if err := follower.ImportBlock(block); err == nil {
+		t.Error("replayed block imported")
+	}
+}
+
+func TestSealBlockOnlyByProposer(t *testing.T) {
+	vals := []Address{AddressFromString("v0"), AddressFromString("v1")}
+	net, err := NewNetwork(NewRegistry(), vals, nil)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	// Block 1's proposer is v0; v1 must refuse to seal.
+	if _, err := net.Node(vals[1]).SealBlock(); err == nil {
+		t.Error("non-proposer sealed a block")
+	}
+	if !net.Node(vals[0]).IsProposer() {
+		t.Error("v0 should be the proposer of block 1")
+	}
+}
+
+func TestRunDrainsPool(t *testing.T) {
+	vals := []Address{AddressFromString("v0"), AddressFromString("v1")}
+	alice := AddressFromString("alice")
+	net, err := NewNetwork(NewRegistry(), vals, map[Address]uint64{alice: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := net.SubmitTx(&Transaction{
+			From: alice, To: AddressFromString("bob"),
+			Nonce: uint64(i), Value: 1, GasLimit: 100000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks, err := net.Run(10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(blocks) == 0 {
+		t.Fatal("Run sealed no blocks")
+	}
+	if net.Leader().PendingCount() != 0 {
+		t.Error("pool not drained")
+	}
+}

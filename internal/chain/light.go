@@ -1,0 +1,175 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements light-client support: header-chain tracking and
+// receipt/log inclusion proofs. A Slicer data user can follow the header
+// chain and verify that an AcUpdated event really was included in a block —
+// establishing data freshness without trusting any single full node, which
+// is exactly the trust model the paper's blockchain layer is meant to
+// provide.
+
+// ReceiptProof proves that a receipt (with its logs) is included in a
+// block's receipt root.
+type ReceiptProof struct {
+	BlockNumber uint64
+	Receipt     *Receipt
+	Proof       *MerkleProof
+}
+
+// ProveReceipt builds an inclusion proof for the index-th receipt of a
+// block.
+func (n *Node) ProveReceipt(blockNumber uint64, index int) (*ReceiptProof, error) {
+	block := n.BlockByNumber(blockNumber)
+	if block == nil {
+		return nil, fmt.Errorf("chain: no block %d", blockNumber)
+	}
+	if index < 0 || index >= len(block.Receipts) {
+		return nil, fmt.Errorf("chain: block %d has no receipt %d", blockNumber, index)
+	}
+	leaves := make([]Hash, len(block.Receipts))
+	for i, r := range block.Receipts {
+		leaves[i] = r.hash()
+	}
+	proof, err := ProveLeaf(leaves, index)
+	if err != nil {
+		return nil, err
+	}
+	return &ReceiptProof{
+		BlockNumber: blockNumber,
+		Receipt:     block.Receipts[index],
+		Proof:       proof,
+	}, nil
+}
+
+// ProveReceiptByTx locates a transaction's receipt and proves its inclusion.
+func (n *Node) ProveReceiptByTx(txHash Hash) (*ReceiptProof, error) {
+	for num := uint64(len(n.blocks)); num > 0; num-- {
+		block := n.blocks[num-1]
+		for i, r := range block.Receipts {
+			if r.TxHash == txHash {
+				return n.ProveReceipt(block.Header.Number, i)
+			}
+		}
+	}
+	return nil, fmt.Errorf("chain: no receipt for tx %s", txHash)
+}
+
+// LogsByTopic scans a block range for logs whose first topic matches,
+// returning them with their block numbers. Full-node convenience for
+// applications watching contract events (e.g. AcUpdated).
+func (n *Node) LogsByTopic(topic Hash, from, to uint64) []struct {
+	BlockNumber uint64
+	Log         Log
+} {
+	var out []struct {
+		BlockNumber uint64
+		Log         Log
+	}
+	if to >= uint64(len(n.blocks)) {
+		to = uint64(len(n.blocks)) - 1
+	}
+	for num := from; num <= to; num++ {
+		for _, r := range n.blocks[num].Receipts {
+			for _, l := range r.Logs {
+				if len(l.Topics) > 0 && l.Topics[0] == topic {
+					out = append(out, struct {
+						BlockNumber uint64
+						Log         Log
+					}{num, l})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LightClient tracks the header chain only, validating hash links and the
+// PoA proposer schedule, and verifies receipt inclusion proofs against its
+// trusted headers.
+type LightClient struct {
+	validators []Address
+	headers    []Header // headers[i] is block i
+}
+
+// NewLightClient starts a light client from a trusted genesis header and
+// the validator set.
+func NewLightClient(genesis Header, validators []Address) (*LightClient, error) {
+	if genesis.Number != 0 {
+		return nil, errors.New("chain: light client must start from the genesis header")
+	}
+	if len(validators) == 0 {
+		return nil, errors.New("chain: validator set required")
+	}
+	vals := make([]Address, len(validators))
+	copy(vals, validators)
+	return &LightClient{validators: vals, headers: []Header{genesis}}, nil
+}
+
+// Height returns the latest tracked block number.
+func (lc *LightClient) Height() uint64 {
+	return lc.headers[len(lc.headers)-1].Number
+}
+
+// AddHeader validates and appends the next block header: correct number,
+// parent-hash link, and the scheduled PoA proposer.
+func (lc *LightClient) AddHeader(h Header) error {
+	tip := lc.headers[len(lc.headers)-1]
+	if h.Number != tip.Number+1 {
+		return fmt.Errorf("chain: header %d does not extend height %d", h.Number, tip.Number)
+	}
+	parent := Block{Header: tip}
+	if h.ParentHash != parent.Hash() {
+		return errors.New("chain: header parent hash mismatch")
+	}
+	want := lc.validators[(h.Number-1)%uint64(len(lc.validators))]
+	if h.Proposer != want {
+		return fmt.Errorf("chain: header proposer %s, schedule requires %s", h.Proposer, want)
+	}
+	lc.headers = append(lc.headers, h)
+	return nil
+}
+
+// Sync pulls any missing headers from a full node.
+func (lc *LightClient) Sync(n *Node) error {
+	for num := lc.Height() + 1; num <= n.Height(); num++ {
+		block := n.BlockByNumber(num)
+		if block == nil {
+			return fmt.Errorf("chain: node lost block %d", num)
+		}
+		if err := lc.AddHeader(block.Header); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyReceipt checks a receipt inclusion proof against the tracked
+// header chain.
+func (lc *LightClient) VerifyReceipt(p *ReceiptProof) error {
+	if p == nil || p.Receipt == nil || p.Proof == nil {
+		return errors.New("chain: incomplete receipt proof")
+	}
+	if p.BlockNumber >= uint64(len(lc.headers)) {
+		return fmt.Errorf("chain: block %d not yet tracked (height %d)", p.BlockNumber, lc.Height())
+	}
+	root := lc.headers[p.BlockNumber].ReceiptRoot
+	if !VerifyLeaf(root, p.Receipt.hash(), p.Proof) {
+		return errors.New("chain: receipt proof does not match the receipt root")
+	}
+	return nil
+}
+
+// FindLog extracts the first log in a verified receipt whose first topic
+// matches. Callers must VerifyReceipt first.
+func FindLog(r *Receipt, topic Hash) (Log, bool) {
+	for _, l := range r.Logs {
+		if len(l.Topics) > 0 && l.Topics[0] == topic {
+			return l, true
+		}
+	}
+	return Log{}, false
+}

@@ -1,0 +1,202 @@
+package chain
+
+import (
+	"testing"
+)
+
+// lightFixture seals a few blocks carrying logged transactions and returns
+// the network plus the hash of a tx whose receipt carries a log.
+func lightFixture(t *testing.T) (*Network, []Address, Hash) {
+	t.Helper()
+	vals := []Address{AddressFromString("lv0"), AddressFromString("lv1")}
+	alice := AddressFromString("alice")
+	registry := NewRegistry()
+	if err := registry.Register("logger", func() Contract { return loggerContract{} }); err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(registry, vals, map[Address]uint64{alice: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine := func(tx *Transaction) *Receipt {
+		t.Helper()
+		if err := net.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Step(); err != nil {
+			t.Fatal(err)
+		}
+		r, ok := net.Leader().Receipt(tx.Hash())
+		if !ok || !r.Status {
+			t.Fatalf("tx failed: %+v", r)
+		}
+		return r
+	}
+	deploy := &Transaction{
+		From: alice, Nonce: 0, GasLimit: 10_000_000,
+		Data: CreationCode("logger", []byte{0xfe}, nil),
+	}
+	rc := mine(deploy)
+	logTx := &Transaction{
+		From: alice, To: rc.ContractAddress, Nonce: 1, GasLimit: 1_000_000,
+		Data: []byte("payload"),
+	}
+	mine(logTx)
+	// One more block of plain transfers so the log block is not the tip.
+	mine(&Transaction{From: alice, To: AddressFromString("bob"), Nonce: 2, Value: 1, GasLimit: 100_000})
+	return net, vals, logTx.Hash()
+}
+
+// loggerContract emits one log per call, topic = hash of "logged".
+type loggerContract struct{}
+
+var topicLogged = HashBytes([]byte("logged"))
+
+func (loggerContract) Init(ctx *CallCtx, initData []byte) error { return nil }
+
+func (loggerContract) Call(ctx *CallCtx, input []byte) ([]byte, error) {
+	return nil, ctx.EmitLog([]Hash{topicLogged}, input)
+}
+
+func TestLightClientFollowsChain(t *testing.T) {
+	net, vals, logTxHash := lightFixture(t)
+	node := net.Leader()
+	lc, err := NewLightClient(node.BlockByNumber(0).Header, vals)
+	if err != nil {
+		t.Fatalf("NewLightClient: %v", err)
+	}
+	if err := lc.Sync(node); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if lc.Height() != node.Height() {
+		t.Fatalf("light height %d, node height %d", lc.Height(), node.Height())
+	}
+
+	proof, err := node.ProveReceiptByTx(logTxHash)
+	if err != nil {
+		t.Fatalf("ProveReceiptByTx: %v", err)
+	}
+	if err := lc.VerifyReceipt(proof); err != nil {
+		t.Fatalf("VerifyReceipt: %v", err)
+	}
+	log, ok := FindLog(proof.Receipt, topicLogged)
+	if !ok {
+		t.Fatal("logged event missing from verified receipt")
+	}
+	if string(log.Data) != "payload" {
+		t.Errorf("log data = %q", log.Data)
+	}
+}
+
+func TestLightClientRejectsForgedProofs(t *testing.T) {
+	net, vals, logTxHash := lightFixture(t)
+	node := net.Leader()
+	lc, err := NewLightClient(node.BlockByNumber(0).Header, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Sync(node); err != nil {
+		t.Fatal(err)
+	}
+	proof, err := node.ProveReceiptByTx(logTxHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered log data.
+	forged := *proof
+	forgedReceipt := *proof.Receipt
+	forgedReceipt.Logs = []Log{{Address: proof.Receipt.Logs[0].Address,
+		Topics: proof.Receipt.Logs[0].Topics, Data: []byte("forged")}}
+	forged.Receipt = &forgedReceipt
+	if err := lc.VerifyReceipt(&forged); err == nil {
+		t.Error("forged log data accepted")
+	}
+
+	// Wrong block.
+	misplaced := *proof
+	misplaced.BlockNumber = proof.BlockNumber + 1
+	if err := lc.VerifyReceipt(&misplaced); err == nil {
+		t.Error("misplaced proof accepted")
+	}
+
+	// Future block.
+	future := *proof
+	future.BlockNumber = 99
+	if err := lc.VerifyReceipt(&future); err == nil {
+		t.Error("future-block proof accepted")
+	}
+	if err := lc.VerifyReceipt(nil); err == nil {
+		t.Error("nil proof accepted")
+	}
+}
+
+func TestLightClientHeaderValidation(t *testing.T) {
+	net, vals, _ := lightFixture(t)
+	node := net.Leader()
+	lc, err := NewLightClient(node.BlockByNumber(0).Header, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Skipping a header fails.
+	if err := lc.AddHeader(node.BlockByNumber(2).Header); err == nil {
+		t.Error("gap header accepted")
+	}
+	// Wrong proposer fails.
+	h := node.BlockByNumber(1).Header
+	h.Proposer = AddressFromString("mallory")
+	if err := lc.AddHeader(h); err == nil {
+		t.Error("wrong-proposer header accepted")
+	}
+	// Broken parent link fails.
+	h = node.BlockByNumber(1).Header
+	h.ParentHash = HashBytes([]byte("bogus"))
+	if err := lc.AddHeader(h); err == nil {
+		t.Error("broken-link header accepted")
+	}
+	// The genuine header chain is accepted.
+	if err := lc.AddHeader(node.BlockByNumber(1).Header); err != nil {
+		t.Errorf("genuine header rejected: %v", err)
+	}
+
+	if _, err := NewLightClient(node.BlockByNumber(1).Header, vals); err == nil {
+		t.Error("non-genesis start accepted")
+	}
+	if _, err := NewLightClient(node.BlockByNumber(0).Header, nil); err == nil {
+		t.Error("empty validator set accepted")
+	}
+}
+
+func TestLogsByTopic(t *testing.T) {
+	net, _, _ := lightFixture(t)
+	node := net.Leader()
+	logs := node.LogsByTopic(topicLogged, 0, node.Height())
+	if len(logs) != 1 {
+		t.Fatalf("found %d logs, want 1", len(logs))
+	}
+	if string(logs[0].Log.Data) != "payload" {
+		t.Errorf("log data = %q", logs[0].Log.Data)
+	}
+	if logs := node.LogsByTopic(HashBytes([]byte("other")), 0, node.Height()); len(logs) != 0 {
+		t.Errorf("unexpected logs for unrelated topic: %d", len(logs))
+	}
+	// Out-of-range 'to' is clamped rather than panicking.
+	if logs := node.LogsByTopic(topicLogged, 0, 10_000); len(logs) != 1 {
+		t.Errorf("clamped range lost the log: %d", len(logs))
+	}
+}
+
+func TestProveReceiptErrors(t *testing.T) {
+	net, _, _ := lightFixture(t)
+	node := net.Leader()
+	if _, err := node.ProveReceipt(99, 0); err == nil {
+		t.Error("missing block accepted")
+	}
+	if _, err := node.ProveReceipt(1, 5); err == nil {
+		t.Error("missing receipt index accepted")
+	}
+	if _, err := node.ProveReceiptByTx(HashBytes([]byte("nothing"))); err == nil {
+		t.Error("unknown tx accepted")
+	}
+}

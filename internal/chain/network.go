@@ -1,0 +1,101 @@
+package chain
+
+import (
+	"fmt"
+)
+
+// Network wires a set of nodes into an in-process proof-of-authority
+// network: transactions are broadcast to every pool, and each Step seals a
+// block on the scheduled proposer and imports it everywhere else. It is the
+// consensus substrate for multi-node tests and the distributed example; the
+// wire package exposes the same operations over TCP.
+type Network struct {
+	nodes  []*Node
+	byAddr map[Address]*Node
+}
+
+// NewNetwork creates a network of nodes sharing a genesis configuration.
+// One node is created per validator.
+func NewNetwork(registry *Registry, validators []Address, genesisAlloc map[Address]uint64) (*Network, error) {
+	if len(validators) == 0 {
+		return nil, fmt.Errorf("chain: network needs at least one validator")
+	}
+	net := &Network{byAddr: make(map[Address]*Node, len(validators))}
+	for _, v := range validators {
+		node, err := NewNode(Config{
+			Identity:     v,
+			Registry:     registry,
+			Validators:   validators,
+			GenesisAlloc: genesisAlloc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		net.nodes = append(net.nodes, node)
+		net.byAddr[v] = node
+	}
+	return net, nil
+}
+
+// Nodes returns the participating nodes.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Node returns the validator's node.
+func (n *Network) Node(v Address) *Node { return n.byAddr[v] }
+
+// Leader returns any node (they share state); convenient for reads.
+func (n *Network) Leader() *Node { return n.nodes[0] }
+
+// SubmitTx broadcasts a transaction to every node's pool.
+func (n *Network) SubmitTx(tx *Transaction) error {
+	for _, node := range n.nodes {
+		if err := node.SubmitTx(tx); err != nil {
+			return fmt.Errorf("node %s: %w", node.identity, err)
+		}
+	}
+	return nil
+}
+
+// Step seals one block on the scheduled proposer and imports it on every
+// other node. It returns the sealed block.
+func (n *Network) Step() (*Block, error) {
+	number := n.Leader().Height() + 1
+	proposer := n.Leader().expectedProposer(number)
+	sealer, ok := n.byAddr[proposer]
+	if !ok {
+		return nil, fmt.Errorf("chain: no node for proposer %s", proposer)
+	}
+	block, err := sealer.SealBlock()
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range n.nodes {
+		if node == sealer {
+			continue
+		}
+		if err := node.ImportBlock(block); err != nil {
+			return nil, fmt.Errorf("node %s rejected block %d: %w", node.identity, block.Header.Number, err)
+		}
+	}
+	return block, nil
+}
+
+// Run steps until every pool is drained, returning the sealed blocks. It
+// bounds the number of rounds to avoid spinning on a stuck pool.
+func (n *Network) Run(maxRounds int) ([]*Block, error) {
+	var blocks []*Block
+	for round := 0; round < maxRounds; round++ {
+		if n.Leader().PendingCount() == 0 {
+			return blocks, nil
+		}
+		b, err := n.Step()
+		if err != nil {
+			return blocks, err
+		}
+		blocks = append(blocks, b)
+	}
+	if n.Leader().PendingCount() > 0 {
+		return blocks, fmt.Errorf("chain: pool not drained after %d rounds", maxRounds)
+	}
+	return blocks, nil
+}

@@ -1,0 +1,126 @@
+package chain
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+func timeFromUnixNs(ns int64) time.Time { return time.Unix(0, ns) }
+
+// Snapshot support: a node's chain can be exported as the ordered block
+// list and restored by re-executing every block from genesis. Because all
+// execution is deterministic, replay reproduces the exact state and receipt
+// roots; any tampering with the snapshot is caught by the same validation
+// ImportBlock applies to live blocks. cmd/slicer-chain could persist this
+// across restarts.
+
+// snapshotTx mirrors Transaction for stable JSON encoding.
+type snapshotTx struct {
+	From     Address `json:"from"`
+	To       Address `json:"to"`
+	Nonce    uint64  `json:"nonce"`
+	Value    uint64  `json:"value"`
+	GasLimit uint64  `json:"gasLimit"`
+	Data     []byte  `json:"data"`
+}
+
+type snapshotHeader struct {
+	ParentHash  Hash    `json:"parentHash"`
+	Number      uint64  `json:"number"`
+	TimeUnixNs  int64   `json:"timeUnixNs"`
+	Proposer    Address `json:"proposer"`
+	TxRoot      Hash    `json:"txRoot"`
+	ReceiptRoot Hash    `json:"receiptRoot"`
+	StateRoot   Hash    `json:"stateRoot"`
+	GasUsed     uint64  `json:"gasUsed"`
+}
+
+type snapshotBlock struct {
+	Header snapshotHeader `json:"header"`
+	Txs    []snapshotTx   `json:"txs"`
+}
+
+// Snapshot is a serializable chain image (blocks 1..head; genesis is
+// reconstructed from the node's own configuration).
+type Snapshot struct {
+	Blocks []snapshotBlock `json:"blocks"`
+}
+
+// ExportSnapshot captures blocks 1..head.
+func (n *Node) ExportSnapshot() *Snapshot {
+	snap := &Snapshot{Blocks: make([]snapshotBlock, 0, len(n.blocks)-1)}
+	for _, b := range n.blocks[1:] {
+		sb := snapshotBlock{
+			Header: snapshotHeader{
+				ParentHash:  b.Header.ParentHash,
+				Number:      b.Header.Number,
+				TimeUnixNs:  b.Header.Time.UnixNano(),
+				Proposer:    b.Header.Proposer,
+				TxRoot:      b.Header.TxRoot,
+				ReceiptRoot: b.Header.ReceiptRoot,
+				StateRoot:   b.Header.StateRoot,
+				GasUsed:     b.Header.GasUsed,
+			},
+			Txs: make([]snapshotTx, len(b.Txs)),
+		}
+		for i, tx := range b.Txs {
+			sb.Txs[i] = snapshotTx{
+				From: tx.From, To: tx.To, Nonce: tx.Nonce,
+				Value: tx.Value, GasLimit: tx.GasLimit, Data: tx.Data,
+			}
+		}
+		snap.Blocks = append(snap.Blocks, sb)
+	}
+	return snap
+}
+
+// Marshal serializes a snapshot.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// UnmarshalSnapshot parses a serialized snapshot.
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("chain: parse snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// RestoreNode creates a node from its genesis configuration and replays a
+// snapshot through full block validation. The configuration (registry,
+// validators, genesis allocation) must match the original deployment or
+// replay fails.
+func RestoreNode(cfg Config, snap *Snapshot) (*Node, error) {
+	node, err := NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, sb := range snap.Blocks {
+		block := &Block{
+			Header: Header{
+				ParentHash:  sb.Header.ParentHash,
+				Number:      sb.Header.Number,
+				Time:        timeFromUnixNs(sb.Header.TimeUnixNs),
+				Proposer:    sb.Header.Proposer,
+				TxRoot:      sb.Header.TxRoot,
+				ReceiptRoot: sb.Header.ReceiptRoot,
+				StateRoot:   sb.Header.StateRoot,
+				GasUsed:     sb.Header.GasUsed,
+			},
+			Txs: make([]*Transaction, len(sb.Txs)),
+		}
+		for i, tx := range sb.Txs {
+			block.Txs[i] = &Transaction{
+				From: tx.From, To: tx.To, Nonce: tx.Nonce,
+				Value: tx.Value, GasLimit: tx.GasLimit, Data: tx.Data,
+			}
+		}
+		if err := node.ImportBlock(block); err != nil {
+			return nil, fmt.Errorf("chain: replay block %d: %w", sb.Header.Number, err)
+		}
+	}
+	return node, nil
+}

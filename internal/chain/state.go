@@ -1,0 +1,224 @@
+package chain
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Slot is a 32-byte contract storage word.
+type Slot [32]byte
+
+// State is the world state: balances, nonces, contract code and per-contract
+// key-value storage. Mutations are journaled so a reverting transaction can
+// be rolled back without copying the whole state.
+type State struct {
+	balances map[Address]uint64
+	nonces   map[Address]uint64
+	code     map[Address][]byte
+	storage  map[Address]map[Slot]Slot
+
+	journal []journalEntry
+}
+
+type journalEntry struct {
+	kind    byte // 'b' balance, 'n' nonce, 'c' code, 's' storage
+	addr    Address
+	slot    Slot
+	prevU64 uint64
+	prevBuf []byte
+	prevVal Slot
+	existed bool
+}
+
+// NewState creates an empty world state.
+func NewState() *State {
+	return &State{
+		balances: make(map[Address]uint64),
+		nonces:   make(map[Address]uint64),
+		code:     make(map[Address][]byte),
+		storage:  make(map[Address]map[Slot]Slot),
+	}
+}
+
+// Balance returns an account balance.
+func (s *State) Balance(a Address) uint64 { return s.balances[a] }
+
+// SetBalance sets a balance (journaled).
+func (s *State) SetBalance(a Address, v uint64) {
+	s.journal = append(s.journal, journalEntry{kind: 'b', addr: a, prevU64: s.balances[a]})
+	s.balances[a] = v
+}
+
+// Credit adds funds to an account.
+func (s *State) Credit(a Address, v uint64) { s.SetBalance(a, s.balances[a]+v) }
+
+// Debit removes funds, failing on insufficient balance.
+func (s *State) Debit(a Address, v uint64) error {
+	if s.balances[a] < v {
+		return fmt.Errorf("chain: insufficient balance at %s: have %d, need %d", a, s.balances[a], v)
+	}
+	s.SetBalance(a, s.balances[a]-v)
+	return nil
+}
+
+// Nonce returns an account nonce.
+func (s *State) Nonce(a Address) uint64 { return s.nonces[a] }
+
+// BumpNonce increments an account nonce (journaled).
+func (s *State) BumpNonce(a Address) {
+	s.journal = append(s.journal, journalEntry{kind: 'n', addr: a, prevU64: s.nonces[a]})
+	s.nonces[a]++
+}
+
+// Code returns a contract's deployed code (nil for non-contracts).
+func (s *State) Code(a Address) []byte { return s.code[a] }
+
+// SetCode deploys code at an address (journaled).
+func (s *State) SetCode(a Address, code []byte) {
+	prev := s.code[a]
+	s.journal = append(s.journal, journalEntry{kind: 'c', addr: a, prevBuf: prev})
+	cp := make([]byte, len(code))
+	copy(cp, code)
+	s.code[a] = cp
+}
+
+// GetStorage reads one storage slot.
+func (s *State) GetStorage(a Address, k Slot) (Slot, bool) {
+	m, ok := s.storage[a]
+	if !ok {
+		return Slot{}, false
+	}
+	v, ok := m[k]
+	return v, ok
+}
+
+// SetStorage writes one storage slot (journaled). Returns whether the slot
+// previously held a value, which drives SSTORE set-vs-reset pricing.
+func (s *State) SetStorage(a Address, k Slot, v Slot) (existed bool) {
+	m, ok := s.storage[a]
+	if !ok {
+		m = make(map[Slot]Slot)
+		s.storage[a] = m
+	}
+	prev, existed := m[k]
+	s.journal = append(s.journal, journalEntry{
+		kind: 's', addr: a, slot: k, prevVal: prev, existed: existed,
+	})
+	m[k] = v
+	return existed
+}
+
+// Checkpoint marks the current journal position; Revert(cp) undoes every
+// mutation after it.
+func (s *State) Checkpoint() int { return len(s.journal) }
+
+// Revert rolls the state back to a checkpoint.
+func (s *State) Revert(cp int) {
+	for i := len(s.journal) - 1; i >= cp; i-- {
+		e := s.journal[i]
+		switch e.kind {
+		case 'b':
+			s.balances[e.addr] = e.prevU64
+		case 'n':
+			s.nonces[e.addr] = e.prevU64
+		case 'c':
+			if e.prevBuf == nil {
+				delete(s.code, e.addr)
+			} else {
+				s.code[e.addr] = e.prevBuf
+			}
+		case 's':
+			if e.existed {
+				s.storage[e.addr][e.slot] = e.prevVal
+			} else {
+				delete(s.storage[e.addr], e.slot)
+			}
+		}
+	}
+	s.journal = s.journal[:cp]
+}
+
+// DiscardJournal drops rollback history after a block commits.
+func (s *State) DiscardJournal() { s.journal = s.journal[:0] }
+
+// Root computes a deterministic commitment to the full state: the hash of
+// all accounts and storage entries in canonical order. (A production chain
+// would use a Merkle-Patricia trie; a flat sorted hash gives the same
+// consensus-critical property — any divergence changes the root.)
+func (s *State) Root() Hash {
+	var buf bytes.Buffer
+	writeU64 := func(v uint64) {
+		var u [8]byte
+		for i := 0; i < 8; i++ {
+			u[i] = byte(v >> (56 - 8*i))
+		}
+		buf.Write(u[:])
+	}
+
+	addrs := make([]Address, 0, len(s.balances)+len(s.nonces)+len(s.code)+len(s.storage))
+	seen := make(map[Address]struct{})
+	collect := func(a Address) {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			addrs = append(addrs, a)
+		}
+	}
+	for a := range s.balances {
+		collect(a)
+	}
+	for a := range s.nonces {
+		collect(a)
+	}
+	for a := range s.code {
+		collect(a)
+	}
+	for a := range s.storage {
+		collect(a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return bytes.Compare(addrs[i][:], addrs[j][:]) < 0 })
+
+	for _, a := range addrs {
+		buf.Write(a[:])
+		writeU64(s.balances[a])
+		writeU64(s.nonces[a])
+		codeHash := HashBytes(s.code[a])
+		buf.Write(codeHash[:])
+		slots := make([]Slot, 0, len(s.storage[a]))
+		for k := range s.storage[a] {
+			slots = append(slots, k)
+		}
+		sort.Slice(slots, func(i, j int) bool { return bytes.Compare(slots[i][:], slots[j][:]) < 0 })
+		for _, k := range slots {
+			v := s.storage[a][k]
+			buf.Write(k[:])
+			buf.Write(v[:])
+		}
+	}
+	return HashBytes(buf.Bytes())
+}
+
+// Clone deep-copies the state (used when a validator re-executes a proposed
+// block without disturbing its own tip).
+func (s *State) Clone() *State {
+	out := NewState()
+	for a, v := range s.balances {
+		out.balances[a] = v
+	}
+	for a, v := range s.nonces {
+		out.nonces[a] = v
+	}
+	for a, c := range s.code {
+		cp := make([]byte, len(c))
+		copy(cp, c)
+		out.code[a] = cp
+	}
+	for a, m := range s.storage {
+		cm := make(map[Slot]Slot, len(m))
+		for k, v := range m {
+			cm[k] = v
+		}
+		out.storage[a] = cm
+	}
+	return out
+}

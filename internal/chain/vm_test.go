@@ -1,0 +1,76 @@
+package chain
+
+import (
+	"testing"
+)
+
+func TestRegistryValidation(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("", func() Contract { return loggerContract{} }); err == nil {
+		t.Error("empty runtime id accepted")
+	}
+	if err := reg.Register("waytoolongid", func() Contract { return loggerContract{} }); err == nil {
+		t.Error("oversized runtime id accepted")
+	}
+	if err := reg.Register("dup", func() Contract { return loggerContract{} }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := reg.Register("dup", func() Contract { return loggerContract{} }); err == nil {
+		t.Error("duplicate runtime id accepted")
+	}
+}
+
+func TestCreationCodeRoundTrip(t *testing.T) {
+	code := CreationCode("vm1", []byte{1, 2, 3}, []byte{9, 9})
+	id, body, initData, err := splitCreationCode(code)
+	if err != nil {
+		t.Fatalf("splitCreationCode: %v", err)
+	}
+	if id != paddedID("vm1") {
+		t.Errorf("id = %q", id)
+	}
+	if len(body) != 3 || body[0] != 1 {
+		t.Errorf("body = %v", body)
+	}
+	if len(initData) != 2 || initData[0] != 9 {
+		t.Errorf("initData = %v", initData)
+	}
+	if _, _, _, err := splitCreationCode([]byte{1, 2}); err == nil {
+		t.Error("short creation code accepted")
+	}
+	truncated := CreationCode("vm1", []byte{1, 2, 3}, nil)
+	if _, _, _, err := splitCreationCode(truncated[:len(truncated)-1]); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestCallStaticErrors(t *testing.T) {
+	node, alice, _ := newTestNode(t)
+	if _, _, err := node.CallStatic(alice, AddressFromString("nobody"), nil, 100000); err == nil {
+		t.Error("static call to a non-contract succeeded")
+	}
+}
+
+func TestSlotHelpers(t *testing.T) {
+	if SlotOf("a") == SlotOf("b") {
+		t.Error("distinct labels share a slot")
+	}
+	if SlotOf("m", []byte{1}) == SlotOf("m", []byte{2}) {
+		t.Error("distinct mapping keys share a slot")
+	}
+	if got := SlotU64(U64Slot(123456789)); got != 123456789 {
+		t.Errorf("U64Slot round trip = %d", got)
+	}
+}
+
+func TestLogCostAndHashGas(t *testing.T) {
+	if got := HashGas(0); got != HashBaseGas {
+		t.Errorf("HashGas(0) = %d", got)
+	}
+	if got := HashGas(33); got != HashBaseGas+2*HashWordGas {
+		t.Errorf("HashGas(33) = %d", got)
+	}
+	if got := LogCost(2, 10); got != LogGas+2*LogTopicGas+10*LogDataGas {
+		t.Errorf("LogCost = %d", got)
+	}
+}

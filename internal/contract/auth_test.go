@@ -1,0 +1,104 @@
+package contract
+
+import (
+	"testing"
+
+	"slicer/internal/chain"
+	"slicer/internal/core"
+)
+
+func TestRestrictedMode(t *testing.T) {
+	f := newFixture(t, testDB)
+
+	isAuth := func(a chain.Address) bool {
+		t.Helper()
+		ret, _, err := f.network.Leader().CallStatic(
+			f.userAddr, f.contractAddr, append([]byte{MethodIsAuthorized}, a[:]...), 1_000_000)
+		if err != nil {
+			t.Fatalf("IsAuthorized: %v", err)
+		}
+		return ret[0] == 1
+	}
+	requestOnce := func(id byte) *chain.Receipt {
+		t.Helper()
+		req, err := f.user.Token(core.Equal(5))
+		if err != nil {
+			t.Fatalf("Token: %v", err)
+		}
+		th, err := TokensHash(req.Tokens)
+		if err != nil {
+			t.Fatalf("TokensHash: %v", err)
+		}
+		reqID := chain.HashBytes([]byte{id})
+		return f.mine(&chain.Transaction{
+			From: f.userAddr, To: f.contractAddr, Nonce: f.nonce(f.userAddr),
+			Value: 100, GasLimit: 1_000_000, Data: RequestData(reqID, f.cloudAddr, th),
+		})
+	}
+
+	// Open mode (default): everyone is allowed.
+	if !isAuth(f.userAddr) {
+		t.Fatal("open mode should allow everyone")
+	}
+	if r := requestOnce(1); !r.Status {
+		t.Fatalf("open-mode request reverted: %s", r.Err)
+	}
+
+	// Only the owner may flip the mode.
+	if r := f.mine(&chain.Transaction{
+		From: f.userAddr, To: f.contractAddr, Nonce: f.nonce(f.userAddr),
+		GasLimit: 1_000_000, Data: SetModeData(true),
+	}); r.Status {
+		t.Fatal("non-owner toggled restricted mode")
+	}
+	if r := f.mine(&chain.Transaction{
+		From: f.ownerAddr, To: f.contractAddr, Nonce: f.nonce(f.ownerAddr),
+		GasLimit: 1_000_000, Data: SetModeData(true),
+	}); !r.Status {
+		t.Fatalf("owner SetMode reverted: %s", r.Err)
+	}
+
+	// Unauthorized user is now rejected.
+	if isAuth(f.userAddr) {
+		t.Error("restricted mode reports unauthorized user as allowed")
+	}
+	if r := requestOnce(2); r.Status {
+		t.Error("unauthorized request accepted in restricted mode")
+	}
+
+	// Only the owner may authorize; after authorization the user works.
+	if r := f.mine(&chain.Transaction{
+		From: f.cloudAddr, To: f.contractAddr, Nonce: f.nonce(f.cloudAddr),
+		GasLimit: 1_000_000, Data: AuthorizeData(f.userAddr, true),
+	}); r.Status {
+		t.Fatal("non-owner authorized a user")
+	}
+	if r := f.mine(&chain.Transaction{
+		From: f.ownerAddr, To: f.contractAddr, Nonce: f.nonce(f.ownerAddr),
+		GasLimit: 1_000_000, Data: AuthorizeData(f.userAddr, true),
+	}); !r.Status {
+		t.Fatalf("owner Authorize reverted: %s", r.Err)
+	}
+	if !isAuth(f.userAddr) {
+		t.Error("authorization not visible")
+	}
+	if r := requestOnce(3); !r.Status {
+		t.Fatalf("authorized request reverted: %s", r.Err)
+	}
+
+	// Revocation takes effect.
+	if r := f.mine(&chain.Transaction{
+		From: f.ownerAddr, To: f.contractAddr, Nonce: f.nonce(f.ownerAddr),
+		GasLimit: 1_000_000, Data: AuthorizeData(f.userAddr, false),
+	}); !r.Status {
+		t.Fatalf("owner revoke reverted: %s", r.Err)
+	}
+	if r := requestOnce(4); r.Status {
+		t.Error("revoked user's request accepted")
+	}
+
+	// The owner itself always passes in restricted mode.
+	if !isAuth(f.ownerAddr) {
+		t.Error("owner not allowed in restricted mode")
+	}
+}

@@ -1,0 +1,39 @@
+package contract
+
+import (
+	"math/big"
+
+	"slicer/internal/chain"
+)
+
+// runtimeBodySize is the size of the pseudo-bytecode deployed with the
+// contract. Deployment charges per code byte, so this stands in for the
+// compiled contract size; ~2.8 KiB matches a Solidity contract with escrow
+// bookkeeping, digest storage and precompile-driven verification.
+const runtimeBodySize = 2814
+
+// RuntimeBody returns the deterministic pseudo-bytecode blob charged at
+// deployment. Its content is irrelevant to execution (the registry supplies
+// semantics); only its size and byte distribution affect gas.
+func RuntimeBody() []byte {
+	body := make([]byte, 0, runtimeBodySize)
+	seed := chain.HashBytes([]byte("slicer/runtime-body/v1"))
+	for len(body) < runtimeBodySize {
+		body = append(body, seed[:]...)
+		seed = chain.HashBytes(seed[:])
+	}
+	return body[:runtimeBodySize]
+}
+
+// DeployTx builds the contract-creation transaction: runtime ID, the
+// pseudo-bytecode body and the constructor arguments (owner address plus
+// digests of the accumulator parameters and the initial Ac).
+func DeployTx(from chain.Address, nonce uint64, accParams []byte, ac *big.Int, gasLimit uint64) *chain.Transaction {
+	return &chain.Transaction{
+		From:     from,
+		To:       chain.ZeroAddress,
+		Nonce:    nonce,
+		GasLimit: gasLimit,
+		Data:     chain.CreationCode(RuntimeID, RuntimeBody(), InitData(from, accParams, ac)),
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+
+	"slicer/internal/accumulator"
+	"slicer/internal/mhash"
+	"slicer/internal/prf"
+	"slicer/internal/store"
+	"slicer/internal/trapdoor"
+)
+
+// WitnessMode selects how the cloud produces accumulator membership
+// witnesses.
+type WitnessMode int
+
+const (
+	// WitnessCached precomputes witnesses for every accumulated prime with
+	// the RootFactor algorithm and maintains them incrementally on insert.
+	// Query-time VO generation is then a single lookup plus the final
+	// exponentiations. This matches the fast VO-generation times of the
+	// paper's evaluation.
+	WitnessCached WitnessMode = iota + 1
+	// WitnessOnDemand computes each witness at query time with O(|X|)
+	// modular exponentiations. Cheaper on insert, slower on search; used by
+	// the ablation benchmark.
+	WitnessOnDemand
+)
+
+// Cloud is the untrusted search server. It stores the encrypted index I,
+// the prime list X, the accumulator public parameters and the trapdoor
+// public key; it executes Algorithm 4 (search + VO generation).
+type Cloud struct {
+	params Params
+	accPub *accumulator.PublicParams
+	tpk    *trapdoor.PublicKey
+
+	index     *store.Index
+	primes    []*big.Int
+	primeSet  map[string]int      // prime bytes -> index into primes
+	witnesses map[string]*big.Int // prime bytes -> cached witness
+	ac        *big.Int
+	mode      WitnessMode
+}
+
+// NewCloud initializes a cloud from the owner's CloudState package.
+func NewCloud(st *CloudState, mode WitnessMode) (*Cloud, error) {
+	if err := st.Params.validate(); err != nil {
+		return nil, err
+	}
+	if mode != WitnessCached && mode != WitnessOnDemand {
+		return nil, fmt.Errorf("core: unknown witness mode %d", mode)
+	}
+	c := &Cloud{
+		params:   st.Params,
+		accPub:   st.AccumulatorPub,
+		tpk:      st.TrapdoorPub,
+		index:    store.NewIndex(),
+		primeSet: make(map[string]int),
+		ac:       new(big.Int).Set(st.Ac),
+		mode:     mode,
+	}
+	if st.Index != nil {
+		if err := c.index.Merge(st.Index); err != nil {
+			return nil, err
+		}
+	}
+	c.addPrimes(st.Primes)
+	if mode == WitnessCached {
+		c.rebuildWitnesses()
+	}
+	return c, nil
+}
+
+// ApplyUpdate merges an UpdateOutput delta shipped by the owner after an
+// Insert: new index entries, new primes and the new accumulation value.
+//
+// Cached witnesses are maintained by whichever strategy is cheaper for the
+// batch: incremental refresh costs O(|X|·|X⁺|) exponentiations (each
+// existing witness raised to every new prime, plus pairwise work for the
+// new primes), while a full RootFactor rebuild costs O(N log N) for
+// N = |X|+|X⁺|. Small trickle inserts refresh incrementally; bulk inserts
+// rebuild.
+func (c *Cloud) ApplyUpdate(out *UpdateOutput) error {
+	if err := c.index.Merge(out.Index); err != nil {
+		return fmt.Errorf("apply index delta: %w", err)
+	}
+	added := len(out.Primes)
+	total := len(c.primes) + added
+	rebuild := c.mode == WitnessCached && added > log2ceil(total)+1
+
+	if c.mode == WitnessCached && !rebuild {
+		// Update existing witnesses before registering the new primes.
+		for key, w := range c.witnesses {
+			nw := new(big.Int).Set(w)
+			for _, x := range out.Primes {
+				nw.Exp(nw, x, c.accPub.N)
+			}
+			c.witnesses[key] = nw
+		}
+	}
+	start := len(c.primes)
+	c.addPrimes(out.Primes)
+	switch {
+	case rebuild:
+		c.rebuildWitnesses()
+	case c.mode == WitnessCached:
+		// Witness for each new prime: old Ac raised to the other new primes.
+		for i := start; i < len(c.primes); i++ {
+			w := new(big.Int).Set(c.ac)
+			for k := start; k < len(c.primes); k++ {
+				if k == i {
+					continue
+				}
+				w.Exp(w, c.primes[k], c.accPub.N)
+			}
+			c.witnesses[string(c.primes[i].Bytes())] = w
+		}
+	}
+	c.ac = new(big.Int).Set(out.Ac)
+	return nil
+}
+
+func log2ceil(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+func (c *Cloud) addPrimes(primes []*big.Int) {
+	for _, p := range primes {
+		cp := new(big.Int).Set(p)
+		c.primeSet[string(cp.Bytes())] = len(c.primes)
+		c.primes = append(c.primes, cp)
+	}
+}
+
+// rebuildWitnesses recomputes the full witness cache with RootFactor
+// (O(|X| log |X|) modexps), fanned out across the available cores.
+func (c *Cloud) rebuildWitnesses() {
+	c.witnesses = make(map[string]*big.Int, len(c.primes))
+	for i, w := range c.accPub.RootFactorParallel(c.primes, runtime.GOMAXPROCS(0)) {
+		c.witnesses[string(c.primes[i].Bytes())] = w
+	}
+}
+
+// IndexLen reports the number of stored index entries.
+func (c *Cloud) IndexLen() int { return c.index.Len() }
+
+// IndexSizeBytes reports the index storage footprint (Fig. 4a).
+func (c *Cloud) IndexSizeBytes() int { return c.index.SizeBytes() }
+
+// PrimeCount reports |X|.
+func (c *Cloud) PrimeCount() int { return len(c.primes) }
+
+// ADSSizeBytes reports the storage footprint of the prime list X (Fig. 4b).
+func (c *Cloud) ADSSizeBytes() int {
+	total := 0
+	for _, p := range c.primes {
+		total += (p.BitLen() + 7) / 8
+	}
+	return total
+}
+
+// Search runs Algorithm 4 for every token in the request: walk the trapdoor
+// chain from the newest epoch backwards (via π_pk), drain each epoch's
+// counter sequence from the index, then build the verification object.
+func (c *Cloud) Search(req *SearchRequest) (*SearchResponse, error) {
+	resp := &SearchResponse{Results: make([]TokenResult, 0, len(req.Tokens))}
+	for _, tok := range req.Tokens {
+		res, err := c.searchToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	return resp, nil
+}
+
+// SearchResults runs only the result-generation half of Algorithm 4 (lines
+// 2–7), without VO generation. The evaluation harness uses it to separate
+// result-generation time (Fig. 5a/5c) from VO-generation time (Fig. 5b/5d).
+func (c *Cloud) SearchResults(req *SearchRequest) (*SearchResponse, error) {
+	resp := &SearchResponse{Results: make([]TokenResult, 0, len(req.Tokens))}
+	for _, tok := range req.Tokens {
+		er, err := c.collectResults(tok)
+		if err != nil {
+			return nil, err
+		}
+		resp.Results = append(resp.Results, TokenResult{Token: tok, ER: er})
+	}
+	return resp, nil
+}
+
+// AttachWitnesses fills in the verification objects for a response produced
+// by SearchResults.
+func (c *Cloud) AttachWitnesses(resp *SearchResponse) error {
+	for i := range resp.Results {
+		vo, err := c.witnessFor(resp.Results[i].Token, resp.Results[i].ER)
+		if err != nil {
+			return err
+		}
+		resp.Results[i].Witness = vo
+	}
+	return nil
+}
+
+func (c *Cloud) searchToken(tok SearchToken) (TokenResult, error) {
+	er, err := c.collectResults(tok)
+	if err != nil {
+		return TokenResult{}, err
+	}
+	vo, err := c.witnessFor(tok, er)
+	if err != nil {
+		return TokenResult{}, err
+	}
+	return TokenResult{Token: tok, ER: er, Witness: vo}, nil
+}
+
+// collectResults walks epochs j..0 of one keyword's trapdoor chain and
+// unmasks every stored handle.
+func (c *Cloud) collectResults(tok SearchToken) ([][]byte, error) {
+	lk, err := prf.KeyFromBytes(tok.G1)
+	if err != nil {
+		return nil, fmt.Errorf("token G1: %w", err)
+	}
+	dk, err := prf.KeyFromBytes(tok.G2)
+	if err != nil {
+		return nil, fmt.Errorf("token G2: %w", err)
+	}
+	var er [][]byte
+	t := tok.Trapdoor
+	for i := tok.Epoch; i >= 0; i-- {
+		for cctr := uint64(0); ; cctr++ {
+			l, err := store.LabelFromBytes(lk.EvalWithCounter(t, cctr))
+			if err != nil {
+				return nil, err
+			}
+			d, ok := c.index.Get(l)
+			if !ok {
+				break
+			}
+			mask := dk.EvalWithCounter(t, cctr)
+			r := make([]byte, store.EntrySize)
+			for b := range r {
+				r[b] = mask[b] ^ d[b]
+			}
+			er = append(er, r)
+		}
+		if i > 0 {
+			t, err = c.tpk.Forward(t)
+			if err != nil {
+				return nil, fmt.Errorf("walk trapdoor chain: %w", err)
+			}
+		}
+	}
+	return er, nil
+}
+
+// witnessFor derives the prime representative for (token, results) and
+// produces its membership witness.
+func (c *Cloud) witnessFor(tok SearchToken, er [][]byte) ([]byte, error) {
+	h := mhash.OfMultiset(er)
+	x := tokenPrime(tok.Trapdoor, tok.Epoch, tok.G1, tok.G2, h)
+	key := string(x.Bytes())
+	if _, ok := c.primeSet[key]; !ok {
+		return nil, fmt.Errorf("%w (prime %x...)", ErrUnknownToken, x.Bytes()[:4])
+	}
+	var w *big.Int
+	switch c.mode {
+	case WitnessCached:
+		w = c.witnesses[key]
+		if w == nil {
+			return nil, fmt.Errorf("core: witness cache miss for accumulated prime")
+		}
+	case WitnessOnDemand:
+		var err error
+		w, err = c.accPub.MemWit(c.primes, x)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c.accPub.EncodeValue(w), nil
+}

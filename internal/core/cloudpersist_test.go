@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCloudPersistRoundTrip(t *testing.T) {
+	db := []Record{NewRecord(1, 5), NewRecord(2, 9), NewRecord(3, 5)}
+	for _, mode := range []WitnessMode{WitnessCached, WitnessOnDemand} {
+		d := deploy(t, 8, db, mode)
+
+		blob, err := d.cloud.Marshal()
+		if err != nil {
+			t.Fatalf("mode %v: Marshal: %v", mode, err)
+		}
+		restored, err := UnmarshalCloud(blob)
+		if err != nil {
+			t.Fatalf("mode %v: UnmarshalCloud: %v", mode, err)
+		}
+		if restored.IndexLen() != d.cloud.IndexLen() || restored.PrimeCount() != d.cloud.PrimeCount() {
+			t.Fatalf("mode %v: restored sizes differ", mode)
+		}
+
+		// The restored cloud answers verified queries.
+		req, err := d.user.Token(Equal(5))
+		if err != nil {
+			t.Fatalf("Token: %v", err)
+		}
+		resp, err := restored.Search(req)
+		if err != nil {
+			t.Fatalf("mode %v: restored Search: %v", mode, err)
+		}
+		if err := VerifyResponse(d.owner.AccumulatorPub(), d.owner.Ac(), req, resp); err != nil {
+			t.Fatalf("mode %v: restored response rejected: %v", mode, err)
+		}
+		ids, err := d.user.Decrypt(resp)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if !equalIDs(ids, []uint64{1, 3}) {
+			t.Fatalf("mode %v: restored Equal(5) = %v", mode, ids)
+		}
+
+		// And keeps applying updates.
+		out, err := d.owner.Insert([]Record{NewRecord(4, 5)})
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := restored.ApplyUpdate(out); err != nil {
+			t.Fatalf("mode %v: restored ApplyUpdate: %v", mode, err)
+		}
+		d.user.UpdateStates(d.owner.StatesSnapshot())
+		req, err = d.user.Token(Equal(5))
+		if err != nil {
+			t.Fatalf("Token: %v", err)
+		}
+		resp, err = restored.Search(req)
+		if err != nil {
+			t.Fatalf("mode %v: post-insert Search: %v", mode, err)
+		}
+		if err := VerifyResponse(d.owner.AccumulatorPub(), d.owner.Ac(), req, resp); err != nil {
+			t.Fatalf("mode %v: post-insert verification: %v", mode, err)
+		}
+	}
+}
+
+func TestCloudPersistTamperedWitnessRejected(t *testing.T) {
+	db := []Record{NewRecord(1, 5)}
+	d := deploy(t, 8, db, WitnessCached)
+	blob, err := d.cloud.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var st map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	var witnesses [][]byte
+	if err := json.Unmarshal(st["witnesses"], &witnesses); err != nil {
+		t.Fatal(err)
+	}
+	witnesses[0][0] ^= 0x01
+	repacked, err := json.Marshal(witnesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st["witnesses"] = repacked
+	tampered, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCloud(tampered); err == nil {
+		t.Error("tampered witness cache accepted")
+	}
+}
+
+func TestUnmarshalCloudRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalCloud([]byte("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

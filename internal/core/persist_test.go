@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestOwnerPersistRoundTrip serializes an owner mid-deployment, restores it
+// in a "new process", and checks that the restored owner can continue the
+// protocol: insert more records, issue consistent client states, and keep
+// producing verifiable state.
+func TestOwnerPersistRoundTrip(t *testing.T) {
+	db := []Record{NewRecord(1, 5), NewRecord(2, 9), NewRecord(3, 5)}
+	owner, err := NewOwner(testParams(8))
+	if err != nil {
+		t.Fatalf("NewOwner: %v", err)
+	}
+	built, err := owner.Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cloud, err := NewCloud(owner.CloudInit(built.Index), WitnessCached)
+	if err != nil {
+		t.Fatalf("NewCloud: %v", err)
+	}
+
+	blob, err := owner.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	restored, err := UnmarshalOwner(blob)
+	if err != nil {
+		t.Fatalf("UnmarshalOwner: %v", err)
+	}
+
+	// The restored owner must agree on Ac and parameters.
+	if restored.Ac().Cmp(owner.Ac()) != 0 {
+		t.Fatal("restored Ac differs")
+	}
+	if restored.Params() != owner.Params() {
+		t.Fatal("restored params differ")
+	}
+
+	// Users derived before and after restoration interoperate.
+	user, err := NewUser(restored.ClientState())
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	req, err := user.Token(Equal(5))
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+	resp, err := cloud.Search(req)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if err := VerifyResponse(restored.AccumulatorPub(), restored.Ac(), req, resp); err != nil {
+		t.Fatalf("verification with restored owner: %v", err)
+	}
+	ids, err := user.Decrypt(resp)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !equalIDs(ids, []uint64{1, 3}) {
+		t.Fatalf("Equal(5) via restored owner = %v, want [1 3]", ids)
+	}
+
+	// The restored owner continues the protocol: insert (trapdoor chains
+	// must advance from the persisted state), ship, search, verify.
+	up, err := restored.Insert([]Record{NewRecord(4, 5)})
+	if err != nil {
+		t.Fatalf("Insert on restored owner: %v", err)
+	}
+	if err := cloud.ApplyUpdate(up); err != nil {
+		t.Fatalf("ApplyUpdate: %v", err)
+	}
+	user.UpdateStates(restored.StatesSnapshot())
+	req, err = user.Token(Equal(5))
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+	resp, err = cloud.Search(req)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if err := VerifyResponse(restored.AccumulatorPub(), restored.Ac(), req, resp); err != nil {
+		t.Fatalf("post-insert verification: %v", err)
+	}
+	ids, err = user.Decrypt(resp)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !equalIDs(ids, []uint64{1, 3, 4}) {
+		t.Fatalf("Equal(5) after restored insert = %v, want [1 3 4]", ids)
+	}
+
+	// Duplicate-ID protection survives persistence.
+	if _, err := restored.Insert([]Record{NewRecord(1, 7)}); err == nil {
+		t.Error("restored owner accepted a duplicate ID")
+	}
+}
+
+func TestUnmarshalOwnerRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalOwner([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := UnmarshalOwner([]byte(`{"params":{"Bits":0}}`)); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

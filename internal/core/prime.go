@@ -1,0 +1,33 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/big"
+
+	"slicer/internal/hprime"
+	"slicer/internal/mhash"
+)
+
+// tokenPrime derives the prime representative x = H_prime(t || j || G1 ||
+// G2 || h) committed by the accumulator for one keyword's cumulative result
+// set. It is the single place where owner, cloud and verifier must agree on
+// the encoding.
+func tokenPrime(trapdoor []byte, epoch int, g1, g2 []byte, h mhash.Hash) *big.Int {
+	var j [8]byte
+	binary.BigEndian.PutUint64(j[:], uint64(epoch))
+	return hprime.HashConcat(trapdoor, j[:], g1, g2, h.Marshal())
+}
+
+// TokenPrime exposes the prime derivation for the on-chain verifier, which
+// meters its cost explicitly.
+func TokenPrime(token SearchToken, h mhash.Hash) *big.Int {
+	return tokenPrime(token.Trapdoor, token.Epoch, token.G1, token.G2, h)
+}
+
+// TokenPrimeCount is TokenPrime instrumented with the number of primality
+// probes H_prime performed, which the metered verifier charges gas for.
+func TokenPrimeCount(token SearchToken, h mhash.Hash) (*big.Int, int) {
+	var j [8]byte
+	binary.BigEndian.PutUint64(j[:], uint64(token.Epoch))
+	return hprime.HashConcatCount(token.Trapdoor, j[:], token.G1, token.G2, h.Marshal())
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"slicer/internal/accumulator"
+)
+
+// The twin construction (§V-F) supports deletion and update by duplicating
+// the scheme: one instance accumulates inserted records, the other
+// accumulates deleted records, and the effective result of a query is the
+// set difference of the two instances' results. Record IDs may be inserted
+// (and deleted) at most once.
+
+// TwinOwner wraps an insert-instance and a delete-instance owner.
+type TwinOwner struct {
+	Add *Owner
+	Del *Owner
+
+	deleted map[uint64]struct{}
+}
+
+// TwinUpdate carries the per-instance deltas shipped to the cloud.
+type TwinUpdate struct {
+	Add *UpdateOutput // nil if the insert instance did not change
+	Del *UpdateOutput // nil if the delete instance did not change
+}
+
+// TwinClientState packages both instances' user states.
+type TwinClientState struct {
+	Add *ClientState
+	Del *ClientState
+}
+
+// NewTwinOwner creates both instances with independent keys.
+func NewTwinOwner(params Params) (*TwinOwner, error) {
+	add, err := NewOwner(params)
+	if err != nil {
+		return nil, fmt.Errorf("insert instance: %w", err)
+	}
+	del, err := NewOwner(params)
+	if err != nil {
+		return nil, fmt.Errorf("delete instance: %w", err)
+	}
+	return &TwinOwner{Add: add, Del: del, deleted: make(map[uint64]struct{})}, nil
+}
+
+// Build initializes both instances; the delete instance starts empty.
+func (t *TwinOwner) Build(db []Record) (*TwinUpdate, error) {
+	addOut, err := t.Add.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	delOut, err := t.Del.Build(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &TwinUpdate{Add: addOut, Del: delOut}, nil
+}
+
+// Insert adds new records to the insert instance.
+func (t *TwinOwner) Insert(db []Record) (*TwinUpdate, error) {
+	out, err := t.Add.Insert(db)
+	if err != nil {
+		return nil, err
+	}
+	return &TwinUpdate{Add: out}, nil
+}
+
+// Delete marks records as deleted by inserting them into the delete
+// instance. Each record must have been inserted before and not deleted yet,
+// and must be passed with the exact attribute values it was inserted with
+// (so its keywords cancel).
+func (t *TwinOwner) Delete(db []Record) (*TwinUpdate, error) {
+	for _, rec := range db {
+		if _, ok := t.Add.seen[rec.ID]; !ok {
+			return nil, fmt.Errorf("core: delete of never-inserted record %d", rec.ID)
+		}
+		if _, ok := t.deleted[rec.ID]; ok {
+			return nil, fmt.Errorf("core: record %d already deleted", rec.ID)
+		}
+	}
+	out, err := t.Del.Insert(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range db {
+		t.deleted[rec.ID] = struct{}{}
+	}
+	return &TwinUpdate{Del: out}, nil
+}
+
+// Update replaces a record's attributes: one deletion of the old record
+// plus one insertion of the new version under a fresh ID.
+func (t *TwinOwner) Update(old Record, newRec Record) (*TwinUpdate, error) {
+	if old.ID == newRec.ID {
+		return nil, fmt.Errorf("core: update must assign a fresh record ID (IDs are single-use)")
+	}
+	delOut, err := t.Delete([]Record{old})
+	if err != nil {
+		return nil, err
+	}
+	addOut, err := t.Insert([]Record{newRec})
+	if err != nil {
+		return nil, err
+	}
+	return &TwinUpdate{Add: addOut.Add, Del: delOut.Del}, nil
+}
+
+// ClientState exports both instances' user packages.
+func (t *TwinOwner) ClientState() *TwinClientState {
+	return &TwinClientState{Add: t.Add.ClientState(), Del: t.Del.ClientState()}
+}
+
+// TwinUser issues queries against both instances.
+type TwinUser struct {
+	Add *User
+	Del *User
+}
+
+// NewTwinUser constructs a twin user from the owner's client package.
+func NewTwinUser(st *TwinClientState) (*TwinUser, error) {
+	add, err := NewUser(st.Add)
+	if err != nil {
+		return nil, err
+	}
+	del, err := NewUser(st.Del)
+	if err != nil {
+		return nil, err
+	}
+	return &TwinUser{Add: add, Del: del}, nil
+}
+
+// TwinRequest carries the per-instance search requests.
+type TwinRequest struct {
+	Add *SearchRequest
+	Del *SearchRequest
+}
+
+// TwinResponse carries the per-instance responses.
+type TwinResponse struct {
+	Add *SearchResponse
+	Del *SearchResponse
+}
+
+// Token generates search tokens for both instances.
+func (u *TwinUser) Token(q Query) (*TwinRequest, error) {
+	addReq, err := u.Add.Token(q)
+	if err != nil {
+		return nil, err
+	}
+	delReq, err := u.Del.Token(q)
+	if err != nil {
+		return nil, err
+	}
+	return &TwinRequest{Add: addReq, Del: delReq}, nil
+}
+
+// Decrypt returns the effective result: IDs matched by the insert instance
+// minus IDs matched by the delete instance, sorted.
+func (u *TwinUser) Decrypt(resp *TwinResponse) ([]uint64, error) {
+	addIDs, err := u.Add.Decrypt(resp.Add)
+	if err != nil {
+		return nil, err
+	}
+	delIDs, err := u.Del.Decrypt(resp.Del)
+	if err != nil {
+		return nil, err
+	}
+	gone := make(map[uint64]struct{}, len(delIDs))
+	for _, id := range delIDs {
+		gone[id] = struct{}{}
+	}
+	out := addIDs[:0]
+	for _, id := range addIDs {
+		if _, ok := gone[id]; !ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// TwinCloud hosts both instances' server state.
+type TwinCloud struct {
+	Add *Cloud
+	Del *Cloud
+}
+
+// NewTwinCloud initializes both clouds.
+func NewTwinCloud(addState, delState *CloudState, mode WitnessMode) (*TwinCloud, error) {
+	add, err := NewCloud(addState, mode)
+	if err != nil {
+		return nil, err
+	}
+	del, err := NewCloud(delState, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &TwinCloud{Add: add, Del: del}, nil
+}
+
+// ApplyUpdate merges a twin delta.
+func (c *TwinCloud) ApplyUpdate(up *TwinUpdate) error {
+	if up.Add != nil {
+		if err := c.Add.ApplyUpdate(up.Add); err != nil {
+			return fmt.Errorf("insert instance: %w", err)
+		}
+	}
+	if up.Del != nil {
+		if err := c.Del.ApplyUpdate(up.Del); err != nil {
+			return fmt.Errorf("delete instance: %w", err)
+		}
+	}
+	return nil
+}
+
+// Search answers both instances' requests.
+func (c *TwinCloud) Search(req *TwinRequest) (*TwinResponse, error) {
+	addResp, err := c.Add.Search(req.Add)
+	if err != nil {
+		return nil, fmt.Errorf("insert instance: %w", err)
+	}
+	delResp, err := c.Del.Search(req.Del)
+	if err != nil {
+		return nil, fmt.Errorf("delete instance: %w", err)
+	}
+	return &TwinResponse{Add: addResp, Del: delResp}, nil
+}
+
+// VerifyTwinResponse publicly verifies both halves of a twin response
+// against the two instances' accumulation values.
+func VerifyTwinResponse(addPub, delPub *accumulator.PublicParams, addAc, delAc *big.Int,
+	req *TwinRequest, resp *TwinResponse) error {
+	if err := VerifyResponse(addPub, addAc, req.Add, resp.Add); err != nil {
+		return fmt.Errorf("insert instance: %w", err)
+	}
+	if err := VerifyResponse(delPub, delAc, req.Del, resp.Del); err != nil {
+		return fmt.Errorf("delete instance: %w", err)
+	}
+	return nil
+}

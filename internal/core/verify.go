@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"slicer/internal/accumulator"
+	"slicer/internal/mhash"
+)
+
+// VerifyTokenResult runs Algorithm 5 for a single token result against the
+// accumulation value ac (fetched from the blockchain): recompute the
+// multiset hash of the returned encrypted results, re-derive the prime
+// representative and check the membership witness.
+func VerifyTokenResult(pp *accumulator.PublicParams, ac *big.Int, res TokenResult) bool {
+	h := mhash.OfMultiset(res.ER)
+	x := tokenPrime(res.Token.Trapdoor, res.Token.Epoch, res.Token.G1, res.Token.G2, h)
+	w, err := pp.DecodeValue(res.Witness)
+	if err != nil {
+		return false
+	}
+	return pp.VerifyMem(ac, x, w)
+}
+
+// VerifyResponse verifies a full search response against the request it
+// answers. It enforces completeness at the response level too: the cloud
+// must answer every requested token exactly once, otherwise a lazy cloud
+// could silently drop tokens whose results it does not want to return.
+func VerifyResponse(pp *accumulator.PublicParams, ac *big.Int, req *SearchRequest, resp *SearchResponse) error {
+	if len(resp.Results) != len(req.Tokens) {
+		return fmt.Errorf("%w: %d results for %d tokens", ErrVerification, len(resp.Results), len(req.Tokens))
+	}
+	remaining := make(map[string]int, len(req.Tokens))
+	for _, tok := range req.Tokens {
+		remaining[tokenKey(tok)]++
+	}
+	for i, res := range resp.Results {
+		key := tokenKey(res.Token)
+		if remaining[key] == 0 {
+			return fmt.Errorf("%w: result %d answers a token that was not requested", ErrVerification, i)
+		}
+		remaining[key]--
+		if !VerifyTokenResult(pp, ac, res) {
+			return fmt.Errorf("%w: token result %d has an invalid proof", ErrVerification, i)
+		}
+	}
+	return nil
+}
+
+func tokenKey(tok SearchToken) string {
+	key := make([]byte, 0, len(tok.Trapdoor)+8+len(tok.G1)+len(tok.G2))
+	key = append(key, tok.Trapdoor...)
+	key = append(key,
+		byte(tok.Epoch>>56), byte(tok.Epoch>>48), byte(tok.Epoch>>40), byte(tok.Epoch>>32),
+		byte(tok.Epoch>>24), byte(tok.Epoch>>16), byte(tok.Epoch>>8), byte(tok.Epoch))
+	key = append(key, tok.G1...)
+	return string(append(key, tok.G2...))
+}

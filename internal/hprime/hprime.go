@@ -1,0 +1,156 @@
+// Package hprime implements H_prime, the random-oracle-style mapping from
+// arbitrary byte strings to prime representatives (Barić–Pfitzmann style).
+// The RSA accumulator can only accumulate primes; Slicer therefore derives a
+// prime representative for each (search token, set hash) pair before
+// accumulation.
+//
+// Construction: expand the input with SHA-256 into a PrimeBits-wide odd
+// candidate with the top bit forced (so every output has exactly PrimeBits
+// bits), then probe candidate, candidate+2, candidate+4, ... until a
+// probable prime is found. The mapping is deterministic, so the cloud and
+// the on-chain verifier derive the same prime independently, and collision
+// resistance reduces to that of SHA-256 plus the sparseness of the probe
+// window.
+//
+// The probe loop is hot (index building derives one prime per keyword, and
+// large builds have hundreds of thousands of keywords), so composites are
+// first discarded by an incremental trial-division sieve: the candidate's
+// residues modulo all small primes are computed once and advanced by +2 per
+// probe in machine words; only survivors run a full probabilistic primality
+// test.
+package hprime
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+// PrimeBits is the bit width of generated prime representatives. 128 bits
+// keeps accumulator exponentiations cheap while leaving collisions
+// infeasible, mirroring the paper's lightweight parameterization.
+const PrimeBits = 128
+
+// PrimeBytes is the fixed serialized width of prime representatives.
+const PrimeBytes = PrimeBits / 8
+
+// millerRabinRounds is the extra Miller–Rabin work on top of Go's baseline
+// Baillie–PSW test (which has no known composite passing it).
+const millerRabinRounds = 2
+
+// smallPrimes drives the trial-division pre-sieve (odd primes only — the
+// candidates are always odd).
+var smallPrimes = sieve(1 << 11)
+
+func sieve(limit int) []uint64 {
+	composite := make([]bool, limit)
+	var primes []uint64
+	for p := 3; p < limit; p += 2 {
+		if composite[p] {
+			continue
+		}
+		primes = append(primes, uint64(p))
+		for m := p * p; m < limit; m += 2 * p {
+			composite[m] = true
+		}
+	}
+	return primes
+}
+
+// Hash maps data to a PrimeBits-bit prime. The same input always yields the
+// same prime.
+func Hash(data []byte) *big.Int {
+	p, _ := HashCount(data)
+	return p
+}
+
+// HashCount is Hash instrumented with the number of candidates probed
+// before a prime was found; the on-chain verifier charges gas per probe.
+func HashCount(data []byte) (*big.Int, int) {
+	// Expand to PrimeBytes of digest material (counter-mode SHA-256).
+	var buf []byte
+	for ctr := uint32(0); len(buf) < PrimeBytes; ctr++ {
+		h := sha256.New()
+		h.Write([]byte("slicer/hprime/v1"))
+		var c [4]byte
+		binary.BigEndian.PutUint32(c[:], ctr)
+		h.Write(c[:])
+		h.Write(data)
+		buf = append(buf, h.Sum(nil)...)
+	}
+	cand := new(big.Int).SetBytes(buf[:PrimeBytes])
+	cand.SetBit(cand, PrimeBits-1, 1) // force full width
+	cand.SetBit(cand, 0, 1)           // force odd
+
+	// Seed the incremental residue table.
+	residues := make([]uint64, len(smallPrimes))
+	var mod big.Int
+	for i, p := range smallPrimes {
+		residues[i] = mod.Mod(cand, mod.SetUint64(p)).Uint64()
+	}
+
+	two := big.NewInt(2)
+	probes := 0
+	for {
+		probes++
+		smooth := false
+		for i := range smallPrimes {
+			if residues[i] == 0 {
+				smooth = true
+				break
+			}
+		}
+		if !smooth && cand.ProbablyPrime(millerRabinRounds) {
+			return cand, probes
+		}
+		cand.Add(cand, two)
+		for i, p := range smallPrimes {
+			residues[i] += 2
+			if residues[i] >= p {
+				residues[i] -= p
+			}
+		}
+	}
+}
+
+// HashConcat maps the concatenation of several parts to a prime without
+// materialising the concatenation ambiguously: each part is length-prefixed
+// so that distinct part sequences can never encode identically.
+func HashConcat(parts ...[]byte) *big.Int {
+	p, _ := HashConcatCount(parts...)
+	return p
+}
+
+// HashConcatCount is HashConcat instrumented with the probe count.
+func HashConcatCount(parts ...[]byte) (*big.Int, int) {
+	h := sha256.New()
+	for _, p := range parts {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(p)))
+		h.Write(l[:])
+		h.Write(p)
+	}
+	return HashCount(h.Sum(nil))
+}
+
+// Marshal serializes a prime representative at fixed width.
+func Marshal(p *big.Int) ([]byte, error) {
+	if p.BitLen() > PrimeBits {
+		return nil, fmt.Errorf("hprime: prime of %d bits exceeds representative width", p.BitLen())
+	}
+	return p.FillBytes(make([]byte, PrimeBytes)), nil
+}
+
+// Unmarshal parses a fixed-width prime representative. It verifies primality
+// so corrupted accumulator inputs are rejected early.
+func Unmarshal(data []byte) (*big.Int, error) {
+	if len(data) != PrimeBytes {
+		return nil, fmt.Errorf("hprime: representative must be %d bytes, got %d", PrimeBytes, len(data))
+	}
+	p := new(big.Int).SetBytes(data)
+	if !p.ProbablyPrime(millerRabinRounds) {
+		return nil, fmt.Errorf("hprime: %v is not prime", p)
+	}
+	return p, nil
+}

@@ -1,0 +1,151 @@
+// Package leakage makes the paper's security analysis (§VI-B) executable:
+// it computes the four leakage profiles L^build, L^search, L^insert and
+// L^repeat from protocol artifacts, so tests can check that what an
+// adversarial cloud observes is *no more than* what the leakage functions
+// permit — the operational content of Theorem 2's simulation argument.
+//
+// The profiles deliberately contain only shapes (bit lengths and counts)
+// and repetition structure, never values: two databases with identical
+// shapes must produce identical profiles, and the cloud-visible state of a
+// deployment must be a function of the profile alone (plus randomness).
+package leakage
+
+import (
+	"fmt"
+	"math/big"
+
+	"slicer/internal/core"
+	"slicer/internal/store"
+)
+
+// BuildProfile is L^build(DB) = (<|l|,|d|>_p, |x|_q): the index entry
+// widths and count, and the prime width and count (paper §VI-B).
+type BuildProfile struct {
+	LabelBits   int // |l|
+	PayloadBits int // |d|
+	Entries     int // p
+	PrimeBits   int // |x| (width of the largest prime representative)
+	Primes      int // q
+}
+
+// String renders the profile compactly.
+func (p BuildProfile) String() string {
+	return fmt.Sprintf("L^build(<%d,%d>_%d, %d_%d)",
+		p.LabelBits, p.PayloadBits, p.Entries, p.PrimeBits, p.Primes)
+}
+
+// Build computes L^build from the owner's update output.
+func Build(out *core.UpdateOutput) BuildProfile {
+	primeBits := 0
+	for _, x := range out.Primes {
+		if x.BitLen() > primeBits {
+			primeBits = x.BitLen()
+		}
+	}
+	return BuildProfile{
+		LabelBits:   store.EntrySize * 8,
+		PayloadBits: store.EntrySize * 8,
+		Entries:     out.Index.Len(),
+		PrimeBits:   primeBits,
+		Primes:      len(out.Primes),
+	}
+}
+
+// Insert computes L^insert(DB⁺), which has the same shape as L^build.
+func Insert(out *core.UpdateOutput) BuildProfile { return Build(out) }
+
+// SearchProfile is the shape component of L^search: per token, the epoch
+// count and per-epoch result counts the cloud observes while walking the
+// trapdoor chain, plus the result and witness sizes.
+type SearchProfile struct {
+	Tokens []TokenProfile
+}
+
+// TokenProfile is one token's observable shape.
+type TokenProfile struct {
+	Epochs       int // j+1 chain steps walked
+	Results      int // total matched entries
+	ResultBits   int // bit width of each er entry
+	WitnessBits  int
+	TrapdoorBits int
+}
+
+// Search computes the shape component of L^search from a request/response
+// pair.
+func Search(req *core.SearchRequest, resp *core.SearchResponse) SearchProfile {
+	prof := SearchProfile{Tokens: make([]TokenProfile, 0, len(resp.Results))}
+	for i, res := range resp.Results {
+		tp := TokenProfile{
+			Epochs:      res.Token.Epoch + 1,
+			Results:     len(res.ER),
+			WitnessBits: len(res.Witness) * 8,
+		}
+		if len(res.ER) > 0 {
+			tp.ResultBits = len(res.ER[0]) * 8
+		}
+		if i < len(req.Tokens) {
+			tp.TrapdoorBits = len(req.Tokens[i].Trapdoor) * 8
+		}
+		prof.Tokens = append(prof.Tokens, tp)
+	}
+	return prof
+}
+
+// RepeatMatrix is L^repeat's M_{r×r}: M[i][j] is true iff the i-th and
+// j-th issued search tokens are identical — the query-repetition pattern
+// the cloud inherently learns from deterministic tokens.
+type RepeatMatrix [][]bool
+
+// Repeats computes M over a history of issued tokens.
+func Repeats(history []core.SearchToken) RepeatMatrix {
+	key := func(t core.SearchToken) string {
+		buf := make([]byte, 0, len(t.Trapdoor)+8+len(t.G1)+len(t.G2))
+		buf = append(buf, t.Trapdoor...)
+		buf = append(buf,
+			byte(t.Epoch>>24), byte(t.Epoch>>16), byte(t.Epoch>>8), byte(t.Epoch))
+		buf = append(buf, t.G1...)
+		buf = append(buf, t.G2...)
+		return string(buf)
+	}
+	m := make(RepeatMatrix, len(history))
+	keys := make([]string, len(history))
+	for i, t := range history {
+		keys[i] = key(t)
+	}
+	for i := range history {
+		m[i] = make([]bool, len(history))
+		for j := range history {
+			m[i][j] = keys[i] == keys[j]
+		}
+	}
+	return m
+}
+
+// Count returns the number of repeated pairs (i<j with M[i][j]).
+func (m RepeatMatrix) Count() int {
+	n := 0
+	for i := range m {
+		for j := i + 1; j < len(m); j++ {
+			if m[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PrimeWidthUniform reports whether all prime representatives share one
+// bit width — required for |x| to be a single scalar in L^build (anything
+// else would leak which keywords exist through width variation).
+func PrimeWidthUniform(primes []*big.Int) bool {
+	if len(primes) == 0 {
+		return true
+	}
+	w := primes[0].BitLen()
+	for _, x := range primes[1:] {
+		if x.BitLen() != w {
+			return false
+		}
+	}
+	return true
+}

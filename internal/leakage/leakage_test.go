@@ -1,0 +1,196 @@
+package leakage
+
+import (
+	"testing"
+
+	"slicer/internal/core"
+	"slicer/internal/workload"
+)
+
+func testParams() core.Params {
+	return core.Params{Bits: 8, TrapdoorBits: 256, AccumulatorBits: 256}
+}
+
+func buildOwner(t *testing.T, db []core.Record) (*core.Owner, *core.UpdateOutput) {
+	t.Helper()
+	owner, err := core.NewOwner(testParams())
+	if err != nil {
+		t.Fatalf("NewOwner: %v", err)
+	}
+	out, err := owner.Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return owner, out
+}
+
+// TestBuildLeakageIsShapeOnly is the operational core of Theorem 2's
+// simulation argument for L^build: two databases with identical value
+// *shapes* (same multiset of per-keyword posting counts) but completely
+// different values and IDs must produce identical build profiles — i.e.
+// the cloud-visible build output is a function of the leakage alone.
+func TestBuildLeakageIsShapeOnly(t *testing.T) {
+	// Same shape: 4 records, values {a,a,b,c} — two values shifted.
+	db1 := []core.Record{
+		core.NewRecord(1, 10), core.NewRecord(2, 10),
+		core.NewRecord(3, 77), core.NewRecord(4, 200),
+	}
+	db2 := []core.Record{
+		core.NewRecord(901, 33), core.NewRecord(902, 33),
+		core.NewRecord(903, 140), core.NewRecord(904, 5),
+	}
+	_, out1 := buildOwner(t, db1)
+	_, out2 := buildOwner(t, db2)
+	p1, p2 := Build(out1), Build(out2)
+	// The SORE tuple structure depends on shared bit prefixes, so entry
+	// counts can differ slightly across value multisets; the widths and
+	// the prime width must be identical, and entry counts must be within
+	// the structural bound (b+1 entries per record per attribute).
+	if p1.LabelBits != p2.LabelBits || p1.PayloadBits != p2.PayloadBits || p1.PrimeBits != p2.PrimeBits {
+		t.Errorf("width leakage differs: %v vs %v", p1, p2)
+	}
+	if p1.Entries != 4*9 || p2.Entries != 4*9 {
+		t.Errorf("entry counts %d, %d; want %d each", p1.Entries, p2.Entries, 4*9)
+	}
+}
+
+// TestBuildLeakageBounds checks p and q against their structural formulas.
+func TestBuildLeakageBounds(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 40, Bits: 8, Seed: 3})
+	_, out := buildOwner(t, db)
+	p := Build(out)
+	if p.Entries != 40*9 {
+		t.Errorf("p = %d, want %d (records × (b+1))", p.Entries, 40*9)
+	}
+	// q = number of distinct keywords ≤ p.
+	if p.Primes <= 0 || p.Primes > p.Entries {
+		t.Errorf("q = %d outside (0, %d]", p.Primes, p.Entries)
+	}
+	if p.LabelBits != 128 || p.PayloadBits != 128 {
+		t.Errorf("entry widths %d/%d, want 128/128", p.LabelBits, p.PayloadBits)
+	}
+}
+
+// TestPrimeWidthUniform: prime representatives must share one width or the
+// accumulator input itself would leak keyword structure.
+func TestPrimeWidthUniform(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 60, Bits: 8, Seed: 4})
+	_, out := buildOwner(t, db)
+	if !PrimeWidthUniform(out.Primes) {
+		t.Error("prime representatives vary in width")
+	}
+}
+
+// TestSearchLeakageShape checks the observable search shape: token count
+// bounded by b, epochs = j+1, and result sizes as specified.
+func TestSearchLeakageShape(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 50, Bits: 8, Seed: 5})
+	owner, out := buildOwner(t, db)
+	cloud, err := core.NewCloud(owner.CloudInit(out.Index), core.WitnessCached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := user.Token(core.Less(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cloud.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Search(req, resp)
+	if len(prof.Tokens) == 0 || len(prof.Tokens) > 8 {
+		t.Fatalf("token count %d outside (0, 8]", len(prof.Tokens))
+	}
+	total := 0
+	for _, tp := range prof.Tokens {
+		if tp.Epochs != 1 {
+			t.Errorf("fresh build should have 1 epoch, got %d", tp.Epochs)
+		}
+		if tp.Results > 0 && tp.ResultBits != 128 {
+			t.Errorf("result width %d, want 128", tp.ResultBits)
+		}
+		if tp.WitnessBits != 256 {
+			t.Errorf("witness width %d, want accumulator modulus width 256", tp.WitnessBits)
+		}
+		total += tp.Results
+	}
+	want := len(workload.Answer(db, core.Less(128)))
+	if total != want {
+		t.Errorf("leaked result count %d, true count %d", total, want)
+	}
+}
+
+// TestRepeatMatrix reproduces L^repeat: identical queries repeat exactly,
+// and the repetition pattern is all the history reveals.
+func TestRepeatMatrix(t *testing.T) {
+	db := []core.Record{core.NewRecord(1, 5), core.NewRecord(2, 9)}
+	owner, _ := buildOwner(t, db)
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []core.SearchToken
+	issue := func(q core.Query) {
+		t.Helper()
+		req, err := user.Token(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, req.Tokens...)
+	}
+	issue(core.Equal(5)) // token 0
+	issue(core.Equal(9)) // token 1
+	issue(core.Equal(5)) // token 2 == token 0
+
+	m := Repeats(history)
+	if len(m) != 3 {
+		t.Fatalf("matrix size %d, want 3", len(m))
+	}
+	if !m[0][2] || !m[2][0] {
+		t.Error("repeated query not flagged")
+	}
+	if m[0][1] || m[1][2] {
+		t.Error("distinct queries flagged as repeats")
+	}
+	if got := m.Count(); got != 1 {
+		t.Errorf("repeat count %d, want 1", got)
+	}
+	for i := range m {
+		if !m[i][i] {
+			t.Errorf("diagonal M[%d][%d] false", i, i)
+		}
+	}
+}
+
+// TestForwardSecurityLeakage: after an insert touches a searched keyword,
+// the *new* token differs from the old one (no repetition), which is what
+// makes L^insert simulatable from sizes alone.
+func TestForwardSecurityLeakage(t *testing.T) {
+	db := []core.Record{core.NewRecord(1, 5)}
+	owner, _ := buildOwner(t, db)
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req1, err := user.Token(core.Equal(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Insert([]core.Record{core.NewRecord(2, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	user.UpdateStates(owner.StatesSnapshot())
+	req2, err := user.Token(core.Equal(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Repeats(append(append([]core.SearchToken{}, req1.Tokens...), req2.Tokens...))
+	if m.Count() != 0 {
+		t.Error("post-insert token repeats the pre-insert token (forward security leak)")
+	}
+}

@@ -1,0 +1,116 @@
+// Package prf implements the pseudo-random functions used throughout Slicer.
+//
+// The paper instantiates its PRFs F and G with HMAC-128. We use HMAC-SHA256
+// truncated to 16 bytes, which is a PRF under the standard assumption that
+// the SHA-256 compression function is a PRF. The package also provides a
+// small deterministic key-derivation facility so that a single master key
+// can be split into the independent keys the protocol needs (K, K_R, SORE
+// key, ...). Keys may be any length >= MinKeySize: the protocol keys F with
+// the 16-byte PRF outputs G1/G2, which HMAC supports natively.
+package prf
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Size is the output size of the PRF in bytes (128 bits, matching the
+// paper's HMAC-128 instantiation).
+const Size = 16
+
+// DefaultKeySize is the size of freshly sampled PRF keys in bytes.
+const DefaultKeySize = 32
+
+// MinKeySize is the smallest accepted key length (128-bit security floor).
+const MinKeySize = 16
+
+// Key is a PRF key. The zero value is not a valid key; use NewKey,
+// KeyFromBytes or DeriveKey.
+type Key struct {
+	k []byte
+}
+
+// NewKey samples a fresh uniformly random PRF key.
+func NewKey() (Key, error) {
+	k := make([]byte, DefaultKeySize)
+	if _, err := rand.Read(k); err != nil {
+		return Key{}, fmt.Errorf("sample prf key: %w", err)
+	}
+	return Key{k: k}, nil
+}
+
+// KeyFromBytes builds a key from raw material (copied). The protocol keys
+// its index PRF F with the 16-byte outputs of G, so any length >= MinKeySize
+// is accepted.
+func KeyFromBytes(b []byte) (Key, error) {
+	if len(b) < MinKeySize {
+		return Key{}, fmt.Errorf("prf key must be at least %d bytes, got %d", MinKeySize, len(b))
+	}
+	k := make([]byte, len(b))
+	copy(k, b)
+	return Key{k: k}, nil
+}
+
+// Bytes returns a copy of the raw key material.
+func (k Key) Bytes() []byte {
+	out := make([]byte, len(k.k))
+	copy(out, k.k)
+	return out
+}
+
+// Valid reports whether the key holds usable material.
+func (k Key) Valid() bool { return len(k.k) >= MinKeySize }
+
+// Eval computes the PRF F_k(msg), returning a Size-byte output.
+func (k Key) Eval(msg []byte) []byte {
+	mac := hmac.New(sha256.New, k.k)
+	mac.Write(msg)
+	sum := mac.Sum(nil)
+	return sum[:Size]
+}
+
+// EvalFull computes the untruncated 32-byte HMAC-SHA256 output, for callers
+// that need the full width (key derivation, commitments).
+func (k Key) EvalFull(msg []byte) []byte {
+	mac := hmac.New(sha256.New, k.k)
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// EvalConcat computes F_k(a || b || ...) without materialising the
+// concatenation.
+func (k Key) EvalConcat(parts ...[]byte) []byte {
+	mac := hmac.New(sha256.New, k.k)
+	for _, p := range parts {
+		mac.Write(p)
+	}
+	sum := mac.Sum(nil)
+	return sum[:Size]
+}
+
+// SubKey derives an independent PRF key for the given label. Distinct labels
+// yield computationally independent keys (HKDF-style expansion with a domain
+// separator).
+func (k Key) SubKey(label string) Key {
+	mac := hmac.New(sha256.New, k.k)
+	mac.Write([]byte("slicer/subkey/v1/"))
+	mac.Write([]byte(label))
+	return Key{k: mac.Sum(nil)}
+}
+
+// EvalWithCounter computes F_k(msg || counter) with the counter encoded as a
+// fixed-width big-endian uint64 — the `t||c` addressing used by the
+// encrypted index.
+func (k Key) EvalWithCounter(msg []byte, counter uint64) []byte {
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], counter)
+	return k.EvalConcat(msg, c[:])
+}
+
+// Equal reports whether two keys hold the same material, in constant time.
+func (k Key) Equal(other Key) bool {
+	return len(k.k) == len(other.k) && hmac.Equal(k.k, other.k)
+}

@@ -1,0 +1,166 @@
+package prf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKeyDistinct(t *testing.T) {
+	k1, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	k2, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	if k1.Equal(k2) {
+		t.Fatal("two fresh keys are equal")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	tests := []struct {
+		name    string
+		size    int
+		wantErr bool
+	}{
+		{"too-short", MinKeySize - 1, true},
+		{"empty", 0, true},
+		{"min", MinKeySize, false},
+		{"default", DefaultKeySize, false},
+		{"long", 64, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := KeyFromBytes(make([]byte, tc.size))
+			if (err != nil) != tc.wantErr {
+				t.Errorf("KeyFromBytes(%d bytes) err=%v, wantErr=%v", tc.size, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestKeyFromBytesCopies(t *testing.T) {
+	raw := make([]byte, DefaultKeySize)
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		t.Fatalf("KeyFromBytes: %v", err)
+	}
+	before := k.Eval([]byte("msg"))
+	raw[0] = 0xff // mutate the caller's slice
+	after := k.Eval([]byte("msg"))
+	if !bytes.Equal(before, after) {
+		t.Error("key shares memory with the caller's slice")
+	}
+}
+
+func TestEvalDeterministicAndSized(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	out1 := k.Eval([]byte("hello"))
+	out2 := k.Eval([]byte("hello"))
+	if !bytes.Equal(out1, out2) {
+		t.Error("Eval not deterministic")
+	}
+	if len(out1) != Size {
+		t.Errorf("Eval output %d bytes, want %d", len(out1), Size)
+	}
+	if len(k.EvalFull([]byte("hello"))) != 32 {
+		t.Error("EvalFull should return 32 bytes")
+	}
+}
+
+func TestEvalDistinguishesInputs(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return bytes.Equal(k.Eval(a), k.Eval(b))
+		}
+		return !bytes.Equal(k.Eval(a), k.Eval(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalConcatMatchesEval(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	f := func(a, b []byte) bool {
+		joined := append(append([]byte(nil), a...), b...)
+		return bytes.Equal(k.EvalConcat(a, b), k.Eval(joined))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubKeyIndependence(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	g := k.SubKey("G")
+	s := k.SubKey("sore")
+	g2 := k.SubKey("G")
+	if !g.Equal(g2) {
+		t.Error("SubKey not deterministic")
+	}
+	if g.Equal(s) {
+		t.Error("distinct labels produced equal subkeys")
+	}
+	if g.Equal(k) {
+		t.Error("subkey equals parent key")
+	}
+	msg := []byte("m")
+	if bytes.Equal(g.Eval(msg), s.Eval(msg)) {
+		t.Error("distinct subkeys agree on an evaluation")
+	}
+}
+
+func TestEvalWithCounter(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	msg := []byte("trapdoor")
+	if bytes.Equal(k.EvalWithCounter(msg, 0), k.EvalWithCounter(msg, 1)) {
+		t.Error("counter does not separate evaluations")
+	}
+	// Counter encoding must be fixed width: (msg, c) pairs cannot alias.
+	a := k.EvalWithCounter([]byte{1}, 0x0203040506070809)
+	b := k.EvalWithCounter([]byte{1, 2}, 0x03040506070809)
+	if bytes.Equal(a, b) {
+		t.Error("counter encoding aliases across message lengths")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	k2, err := KeyFromBytes(k.Bytes())
+	if err != nil {
+		t.Fatalf("KeyFromBytes: %v", err)
+	}
+	if !k.Equal(k2) {
+		t.Error("Bytes/KeyFromBytes round trip lost the key")
+	}
+}
+
+func TestZeroKeyInvalid(t *testing.T) {
+	var k Key
+	if k.Valid() {
+		t.Error("zero key reported valid")
+	}
+}

@@ -1,0 +1,107 @@
+package sore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Prefix-cover range search (extension beyond the paper, see DESIGN.md).
+//
+// In addition to the SORE order tuples, records can be indexed under their
+// bit-prefix keywords: one keyword per depth d in 1..b carrying the top d
+// bits of the value. An inclusive range [lo, hi] then decomposes into at
+// most 2(b-1) canonical prefix nodes (the classic segment-tree cover), and
+// the range query becomes a union of exact keyword lookups — one verifiable
+// result set per node, no client-side intersection and no over-fetch.
+//
+// Trade-off versus the paper's one-sided conditions: the index grows by b
+// entries per record per attribute, queries issue ≤ 2(b-1) tokens instead
+// of ≤ b per side, and what the server learns changes from "first differing
+// bit versus the pivot" to "which cover prefixes were probed".
+
+// tagPrefix tags prefix keywords in the tuple codec (distinct from
+// tagEquality and tagOrder so postings never mix).
+const tagPrefix = 0x02
+
+// PrefixNode is one canonical cover node: the top Depth bits of matching
+// values equal Prefix.
+type PrefixNode struct {
+	Depth  int
+	Prefix uint64
+}
+
+// PrefixKeyword returns the canonical keyword encoding of a prefix node.
+func PrefixKeyword(attr []byte, bits, depth int, prefix uint64) []byte {
+	out := make([]byte, 0, 4+len(attr)+8)
+	out = append(out, tagPrefix, byte(len(attr)))
+	out = append(out, attr...)
+	out = append(out, byte(bits), byte(depth))
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], prefix)
+	return append(out, p[:]...)
+}
+
+// PrefixKeywordsOf returns the b prefix keywords of a value (depth 1..b).
+func (s *Scheme) PrefixKeywordsOf(attr []byte, v uint64) ([][]byte, error) {
+	if err := s.checkValue(v); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, s.bits)
+	for d := 1; d <= s.bits; d++ {
+		out[d-1] = PrefixKeyword(attr, s.bits, d, v>>uint(s.bits-d))
+	}
+	return out, nil
+}
+
+// RangeCover decomposes the inclusive range [lo, hi] over b-bit values into
+// its canonical minimal prefix cover (at most 2(b-1) nodes; 2b-2 is tight
+// for ranges missing both domain edges).
+func RangeCover(bits int, lo, hi uint64) ([]PrefixNode, error) {
+	if bits < 1 || bits > MaxBits {
+		return nil, fmt.Errorf("sore: bit width must be in [1,%d], got %d", MaxBits, bits)
+	}
+	maxV := uint64(1)<<uint(bits) - 1
+	if bits == 64 {
+		maxV = ^uint64(0)
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("sore: empty range [%d,%d]", lo, hi)
+	}
+	if hi > maxV {
+		return nil, fmt.Errorf("sore: range bound %d exceeds %d-bit values", hi, bits)
+	}
+	var nodes []PrefixNode
+	for {
+		// Largest aligned block 2^k starting at lo and contained in [lo,hi].
+		// k is capped at bits-1 so the shallowest node is depth 1: records
+		// are not indexed under a universal depth-0 keyword (its posting
+		// list would enumerate the whole attribute), so a full-domain range
+		// covers as two depth-1 nodes instead.
+		k := 0
+		for k < bits-1 {
+			size := uint64(1) << uint(k+1)
+			if lo&(size-1) != 0 { // next size would not be aligned
+				break
+			}
+			if size-1 > hi-lo { // next size would overshoot hi
+				break
+			}
+			k++
+		}
+		nodes = append(nodes, PrefixNode{Depth: bits - k, Prefix: lo >> uint(k)})
+		blockEnd := lo + (uint64(1)<<uint(k) - 1)
+		if blockEnd >= hi {
+			return nodes, nil
+		}
+		lo = blockEnd + 1
+	}
+}
+
+// CoverKeywords maps a range cover to its keyword encodings.
+func CoverKeywords(attr []byte, bits int, nodes []PrefixNode) [][]byte {
+	out := make([][]byte, len(nodes))
+	for i, n := range nodes {
+		out[i] = PrefixKeyword(attr, bits, n.Depth, n.Prefix)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package sore
+
+import (
+	"testing"
+)
+
+// TestRangeCoverExhaustive checks every range of a 6-bit domain against a
+// brute-force membership oracle: the cover must include exactly the values
+// in [lo,hi], with no node overlaps and within the 2(b-1) size bound.
+func TestRangeCoverExhaustive(t *testing.T) {
+	const bits = 6
+	const domain = 1 << bits
+	for lo := uint64(0); lo < domain; lo++ {
+		for hi := lo; hi < domain; hi++ {
+			nodes, err := RangeCover(bits, lo, hi)
+			if err != nil {
+				t.Fatalf("RangeCover(%d,%d): %v", lo, hi, err)
+			}
+			if len(nodes) > 2*(bits-1) && !(lo == 0 && hi == domain-1) {
+				t.Fatalf("cover of [%d,%d] has %d nodes (> %d)", lo, hi, len(nodes), 2*(bits-1))
+			}
+			covered := make(map[uint64]int)
+			for _, n := range nodes {
+				if n.Depth < 1 || n.Depth > bits {
+					t.Fatalf("[%d,%d]: bad depth %d", lo, hi, n.Depth)
+				}
+				width := uint(bits - n.Depth)
+				start := n.Prefix << width
+				for v := start; v < start+(1<<width); v++ {
+					covered[v]++
+				}
+			}
+			for v := uint64(0); v < domain; v++ {
+				want := 0
+				if v >= lo && v <= hi {
+					want = 1
+				}
+				if covered[v] != want {
+					t.Fatalf("[%d,%d]: value %d covered %d times, want %d", lo, hi, v, covered[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeCoverEdges(t *testing.T) {
+	// Full domain collapses to the root node.
+	nodes, err := RangeCover(8, 0, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Depth != 1 {
+		// Depth 1 covers half the domain; the whole domain needs the
+		// "virtual" depth-0 node, which the codec does not emit — instead
+		// the cover uses two depth-1 nodes.
+		if len(nodes) != 2 {
+			t.Fatalf("full-domain cover = %+v", nodes)
+		}
+	}
+	// Errors.
+	if _, err := RangeCover(8, 5, 4); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := RangeCover(8, 0, 256); err == nil {
+		t.Error("out-of-domain range accepted")
+	}
+	if _, err := RangeCover(0, 0, 0); err == nil {
+		t.Error("zero bit width accepted")
+	}
+	// 64-bit extremes must not overflow.
+	max64 := ^uint64(0)
+	nodes, err = RangeCover(64, max64-3, max64)
+	if err != nil {
+		t.Fatalf("RangeCover(64-bit top): %v", err)
+	}
+	total := uint64(0)
+	for _, n := range nodes {
+		total += uint64(1) << uint(64-n.Depth)
+	}
+	if total != 4 {
+		t.Fatalf("top-of-domain cover spans %d values, want 4", total)
+	}
+	if _, err := RangeCover(64, 0, max64); err != nil {
+		t.Fatalf("full 64-bit domain: %v", err)
+	}
+}
+
+func TestPrefixKeywordsInjective(t *testing.T) {
+	s := newScheme(t, 8)
+	seen := make(map[string]string)
+	record := func(label string, ks [][]byte) {
+		t.Helper()
+		for _, k := range ks {
+			if prev, dup := seen[string(k)]; dup {
+				t.Fatalf("keyword collision between %s and %s", prev, label)
+			}
+			seen[string(k)] = label
+		}
+	}
+	ks, err := s.PrefixKeywordsOf(nil, 0b10110010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 8 {
+		t.Fatalf("got %d prefix keywords, want 8", len(ks))
+	}
+	record("value-178", ks)
+	// A different value sharing the top 4 bits collides on exactly those
+	// 4 depths — remove duplicates first to assert the overlap count.
+	ks2, err := s.PrefixKeywordsOf(nil, 0b10111100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	for _, k := range ks2 {
+		if _, dup := seen[string(k)]; dup {
+			shared++
+		}
+	}
+	if shared != 4 {
+		t.Fatalf("values sharing a 4-bit prefix share %d keywords, want 4", shared)
+	}
+	// Prefix keywords never collide with equality keywords or order tuples.
+	if _, dup := seen[string(EqualityKeyword(nil, 8, 0b10110010))]; dup {
+		t.Fatal("prefix keyword collides with equality keyword")
+	}
+	tuples, err := s.EncryptTuples(nil, 0b10110010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range tuples {
+		if _, dup := seen[string(tup)]; dup {
+			t.Fatal("prefix keyword collides with an order tuple")
+		}
+	}
+	// Attribute separation.
+	ks3, err := s.PrefixKeywordsOf([]byte("a"), 0b10110010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks3 {
+		if _, dup := seen[string(k)]; dup {
+			t.Fatal("prefix keywords collide across attributes")
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package sore implements Slicer's Succinct Order-Revealing Encryption
+// scheme (paper §V-B).
+//
+// SORE "slices" an order condition over a b-bit value into exactly b
+// prefix tuples. For a value v, bit positions are numbered 1..b from the
+// most significant bit; v_{|i-1} denotes the (i-1)-bit prefix.
+//
+//	token  tuple tk_i = v_{|i-1} || v_i    || oc
+//	cipher tuple ct_i = v_{|i-1} || ¬v_i   || cmp(¬v_i, v_i)
+//
+// Theorem 1 of the paper: the token tuple set of x under condition oc and
+// the ciphertext tuple set of y share *exactly one* tuple iff "x oc y"
+// holds (the shared tuple sits at the first differing bit). Order
+// comparison therefore reduces to exact-match set intersection, which is
+// what lets the SSE layer treat each tuple as an ordinary keyword.
+//
+// The package exposes two layers:
+//
+//   - Raw tuples (EncryptTuples / TokenTuples): canonical byte encodings of
+//     the tuples, used as keywords by the Slicer Build/Insert/Search
+//     protocols. The tuple codec is injective and prefix-free across bit
+//     positions and attributes.
+//   - The standalone SORE scheme (Encrypt / Token / Compare): tuples pushed
+//     through the PRF F_k and shuffled, exactly the Π = {SORE.Token,
+//     SORE.Encrypt, SORE.Compare} construction of the paper.
+package sore
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"slicer/internal/prf"
+)
+
+// Cond is an order condition.
+type Cond byte
+
+// Order conditions. The semantics follow the paper: a token for (v, Greater)
+// matches ciphertexts of values a with v > a.
+const (
+	Greater Cond = '>'
+	Less    Cond = '<'
+)
+
+// MaxBits bounds supported value widths.
+const MaxBits = 64
+
+var (
+	// ErrValueRange indicates a plaintext that does not fit in the
+	// configured bit width.
+	ErrValueRange = errors.New("sore: value exceeds configured bit width")
+	// ErrBadCond indicates an order condition other than Greater/Less.
+	ErrBadCond = errors.New("sore: order condition must be '>' or '<'")
+)
+
+// Scheme is a SORE instance bound to a PRF key and a value bit width.
+type Scheme struct {
+	key  prf.Key
+	bits int
+}
+
+// New constructs a SORE scheme over b-bit non-negative integers.
+func New(key prf.Key, bits int) (*Scheme, error) {
+	if bits < 1 || bits > MaxBits {
+		return nil, fmt.Errorf("sore: bit width must be in [1,%d], got %d", MaxBits, bits)
+	}
+	return &Scheme{key: key, bits: bits}, nil
+}
+
+// Bits returns the configured value width.
+func (s *Scheme) Bits() int { return s.bits }
+
+func (s *Scheme) checkValue(v uint64) error {
+	if s.bits < 64 && v >= 1<<uint(s.bits) {
+		return fmt.Errorf("%w: %d needs more than %d bits", ErrValueRange, v, s.bits)
+	}
+	return nil
+}
+
+// bitAt returns v_i, the i-th most significant bit (i in 1..bits).
+func (s *Scheme) bitAt(v uint64, i int) byte {
+	return byte((v >> uint(s.bits-i)) & 1)
+}
+
+// prefixAt returns v_{|i-1}: the top i-1 bits of v, right-aligned.
+func (s *Scheme) prefixAt(v uint64, i int) uint64 {
+	if i == 1 {
+		return 0
+	}
+	return v >> uint(s.bits-i+1)
+}
+
+// cmpBits implements cmp(a, b) for single bits: ">" iff a > b.
+func cmpBits(a, b byte) Cond {
+	if a > b {
+		return Greater
+	}
+	return Less
+}
+
+// Tuple encoding.
+//
+//	order tuple:      0x01 || len(attr) || attr || bits || i || prefix(8B BE) || bit || cond
+//	equality keyword: 0x00 || len(attr) || attr || bits || value(8B BE)
+//
+// Including the position i (and the width) makes the encoding injective:
+// two tuples at different positions can never collide even when their
+// prefix bits agree.
+const (
+	tagEquality = 0x00
+	tagOrder    = 0x01
+)
+
+func encodeOrderTuple(attr []byte, bits, i int, prefix uint64, bit byte, cond Cond) []byte {
+	out := make([]byte, 0, 4+len(attr)+8+2)
+	out = append(out, tagOrder, byte(len(attr)))
+	out = append(out, attr...)
+	out = append(out, byte(bits), byte(i))
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], prefix)
+	out = append(out, p[:]...)
+	out = append(out, bit, byte(cond))
+	return out
+}
+
+// EqualityKeyword returns the canonical keyword encoding of an exact value,
+// used by equality search and index building. attr may be nil for
+// single-attribute databases.
+func EqualityKeyword(attr []byte, bits int, v uint64) []byte {
+	out := make([]byte, 0, 3+len(attr)+8)
+	out = append(out, tagEquality, byte(len(attr)))
+	out = append(out, attr...)
+	out = append(out, byte(bits))
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], v)
+	return append(out, p[:]...)
+}
+
+// EncryptTuples returns the b raw ciphertext tuples ct_1..ct_b of v
+// (shuffled), which the SSE layer uses as index keywords. attr may be nil.
+func (s *Scheme) EncryptTuples(attr []byte, v uint64) ([][]byte, error) {
+	if err := s.checkValue(v); err != nil {
+		return nil, err
+	}
+	tuples := make([][]byte, s.bits)
+	for i := 1; i <= s.bits; i++ {
+		vi := s.bitAt(v, i)
+		ni := 1 - vi // ¬v_i
+		tuples[i-1] = encodeOrderTuple(attr, s.bits, i, s.prefixAt(v, i), ni, cmpBits(ni, vi))
+	}
+	if err := shuffle(tuples); err != nil {
+		return nil, err
+	}
+	return tuples, nil
+}
+
+// TokenTuples returns the b raw query tuples tk_1..tk_b for (v, oc)
+// (shuffled). attr may be nil.
+func (s *Scheme) TokenTuples(attr []byte, v uint64, oc Cond) ([][]byte, error) {
+	if oc != Greater && oc != Less {
+		return nil, ErrBadCond
+	}
+	if err := s.checkValue(v); err != nil {
+		return nil, err
+	}
+	tuples := make([][]byte, s.bits)
+	for i := 1; i <= s.bits; i++ {
+		tuples[i-1] = encodeOrderTuple(attr, s.bits, i, s.prefixAt(v, i), s.bitAt(v, i), oc)
+	}
+	if err := shuffle(tuples); err != nil {
+		return nil, err
+	}
+	return tuples, nil
+}
+
+// Ciphertext is a standalone SORE ciphertext: the PRF images of the b
+// ciphertext tuples, in shuffled order.
+type Ciphertext [][]byte
+
+// Token is a standalone SORE query token: the PRF images of the b token
+// tuples, in shuffled order.
+type Token [][]byte
+
+// Encrypt runs SORE.Encrypt(k, v).
+func (s *Scheme) Encrypt(v uint64) (Ciphertext, error) {
+	tuples, err := s.EncryptTuples(nil, v)
+	if err != nil {
+		return nil, err
+	}
+	return s.evalAll(tuples), nil
+}
+
+// Token runs SORE.Token(k, v, oc).
+func (s *Scheme) Token(v uint64, oc Cond) (Token, error) {
+	tuples, err := s.TokenTuples(nil, v, oc)
+	if err != nil {
+		return nil, err
+	}
+	return s.evalAll(tuples), nil
+}
+
+func (s *Scheme) evalAll(tuples [][]byte) [][]byte {
+	out := make([][]byte, len(tuples))
+	for i, t := range tuples {
+		out[i] = s.key.Eval(t)
+	}
+	return out
+}
+
+// Compare runs SORE.Compare(ct, tk): true iff the ciphertext and token share
+// exactly one PRF value, i.e. iff "x oc y" holds for the token's value x,
+// condition oc and the ciphertext's value y.
+func Compare(ct Ciphertext, tk Token) bool {
+	seen := make(map[string]struct{}, len(ct))
+	for _, c := range ct {
+		seen[string(c)] = struct{}{}
+	}
+	common := 0
+	for _, t := range tk {
+		if _, ok := seen[string(t)]; ok {
+			common++
+			if common > 1 {
+				return false
+			}
+		}
+	}
+	return common == 1
+}
+
+// CiphertextSize returns the byte size of a standalone ciphertext for this
+// scheme (b PRF outputs), used by the overhead experiments.
+func (s *Scheme) CiphertextSize() int { return s.bits * prf.Size }
+
+// CommonTuples counts the PRF values two tuple sets share. It quantifies
+// the scheme's intra-side leakage discussed in §VI-A: for two tokens of
+// values x and y under the same condition (or two ciphertexts), the count
+// equals m-1 where m is the index of their first differing bit — so an
+// observer holding many tokens learns pairwise first-differing-bit
+// positions, and nothing finer. (The Build/Insert protocols eliminate the
+// ciphertext-side variant of this leakage by storing only PRF-derived index
+// entries.)
+func CommonTuples(a, b [][]byte) int {
+	seen := make(map[string]struct{}, len(a))
+	for _, v := range a {
+		seen[string(v)] = struct{}{}
+	}
+	common := 0
+	for _, v := range b {
+		if _, ok := seen[string(v)]; ok {
+			common++
+		}
+	}
+	return common
+}
+
+// shuffle performs a cryptographic Fisher–Yates shuffle so that matched
+// tuple positions are concealed within a single query (paper §V-B).
+func shuffle(tuples [][]byte) error {
+	for i := len(tuples) - 1; i > 0; i-- {
+		jBig, err := rand.Int(rand.Reader, big.NewInt(int64(i+1)))
+		if err != nil {
+			return fmt.Errorf("sore: shuffle: %w", err)
+		}
+		j := int(jBig.Int64())
+		tuples[i], tuples[j] = tuples[j], tuples[i]
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+package sore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"slicer/internal/prf"
+)
+
+func newScheme(t *testing.T, bits int) *Scheme {
+	t.Helper()
+	key, err := prf.NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	s, err := New(key, bits)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewValidatesBits(t *testing.T) {
+	key, err := prf.NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	for _, bits := range []int{0, -1, 65} {
+		if _, err := New(key, bits); err == nil {
+			t.Errorf("bit width %d accepted", bits)
+		}
+	}
+	for _, bits := range []int{1, 8, 64} {
+		if _, err := New(key, bits); err != nil {
+			t.Errorf("bit width %d rejected: %v", bits, err)
+		}
+	}
+}
+
+// TestTheorem1Exhaustive verifies the paper's Theorem 1 over the complete
+// 5-bit domain: for every pair (x, y) and both order conditions,
+// SORE.Compare(Encrypt(y), Token(x, oc)) is true iff "x oc y".
+func TestTheorem1Exhaustive(t *testing.T) {
+	const bits = 5
+	s := newScheme(t, bits)
+	cts := make([]Ciphertext, 1<<bits)
+	for y := range cts {
+		ct, err := s.Encrypt(uint64(y))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", y, err)
+		}
+		cts[y] = ct
+	}
+	for x := uint64(0); x < 1<<bits; x++ {
+		for _, oc := range []Cond{Greater, Less} {
+			tk, err := s.Token(x, oc)
+			if err != nil {
+				t.Fatalf("Token(%d, %c): %v", x, oc, err)
+			}
+			for y := uint64(0); y < 1<<bits; y++ {
+				want := (oc == Greater && x > y) || (oc == Less && x < y)
+				if got := Compare(cts[y], tk); got != want {
+					t.Fatalf("Compare(ct(%d), tk(%d,%c)) = %v, want %v", y, x, oc, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem1Property spot-checks the theorem at full 64-bit width with
+// random pairs, including adversarially close pairs (differing in one low
+// bit).
+func TestTheorem1Property(t *testing.T) {
+	s := newScheme(t, 64)
+	check := func(x, y uint64) bool {
+		ct, err := s.Encrypt(y)
+		if err != nil {
+			return false
+		}
+		tkG, err := s.Token(x, Greater)
+		if err != nil {
+			return false
+		}
+		tkL, err := s.Token(x, Less)
+		if err != nil {
+			return false
+		}
+		return Compare(ct, tkG) == (x > y) && Compare(ct, tkL) == (x < y)
+	}
+	f := func(x, y uint64) bool {
+		if !check(x, y) {
+			return false
+		}
+		// Nearby pairs stress the first-differing-bit logic.
+		return check(x, x) && check(x, x^1) && check(y, y|1)
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExactlyOneCommonTuple verifies the uniqueness half of Theorem 1's
+// proof: when the order holds, the tuple sets intersect in exactly one
+// element (never two or more).
+func TestExactlyOneCommonTuple(t *testing.T) {
+	const bits = 6
+	s := newScheme(t, bits)
+	for x := uint64(0); x < 1<<bits; x++ {
+		tk, err := s.TokenTuples(nil, x, Greater)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tkSet := make(map[string]struct{}, len(tk))
+		for _, tuple := range tk {
+			tkSet[string(tuple)] = struct{}{}
+		}
+		for y := uint64(0); y < 1<<bits; y++ {
+			ct, err := s.EncryptTuples(nil, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			common := 0
+			for _, tuple := range ct {
+				if _, ok := tkSet[string(tuple)]; ok {
+					common++
+				}
+			}
+			want := 0
+			if x > y {
+				want = 1
+			}
+			if common != want {
+				t.Fatalf("x=%d y=%d: %d common tuples, want %d", x, y, common, want)
+			}
+		}
+	}
+}
+
+func TestTupleCounts(t *testing.T) {
+	for _, bits := range []int{1, 8, 24} {
+		s := newScheme(t, bits)
+		ct, err := s.EncryptTuples(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != bits {
+			t.Errorf("bits=%d: %d ciphertext tuples, want %d", bits, len(ct), bits)
+		}
+		tk, err := s.TokenTuples(nil, 0, Less)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tk) != bits {
+			t.Errorf("bits=%d: %d token tuples, want %d", bits, len(tk), bits)
+		}
+	}
+}
+
+func TestValueRangeEnforced(t *testing.T) {
+	s := newScheme(t, 8)
+	if _, err := s.Encrypt(256); err == nil {
+		t.Error("out-of-range value encrypted")
+	}
+	if _, err := s.Token(1000, Greater); err == nil {
+		t.Error("out-of-range token accepted")
+	}
+	if _, err := s.Encrypt(255); err != nil {
+		t.Errorf("max value rejected: %v", err)
+	}
+}
+
+func TestBadCondition(t *testing.T) {
+	s := newScheme(t, 8)
+	if _, err := s.Token(1, Cond('=')); err == nil {
+		t.Error("'=' accepted as an order condition")
+	}
+	if _, err := s.TokenTuples(nil, 1, Cond(0)); err == nil {
+		t.Error("zero condition accepted")
+	}
+}
+
+func TestAttributeSeparation(t *testing.T) {
+	s := newScheme(t, 8)
+	ctAge, err := s.EncryptTuples([]byte("age"), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkWeight, err := s.TokenTuples([]byte("weight"), 200, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]struct{})
+	for _, tuple := range ctAge {
+		set[string(tuple)] = struct{}{}
+	}
+	for _, tuple := range tkWeight {
+		if _, ok := set[string(tuple)]; ok {
+			t.Fatal("tuples matched across attributes")
+		}
+	}
+	// Same attribute still matches.
+	tkAge, err := s.TokenTuples([]byte("age"), 200, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tuple := range tkAge {
+		set[string(tuple)] = struct{}{}
+	}
+	if len(set) != 2*8-1 {
+		t.Fatalf("expected exactly one cross match within the attribute, set size %d", len(set))
+	}
+}
+
+func TestEqualityKeyword(t *testing.T) {
+	a := EqualityKeyword(nil, 8, 5)
+	b := EqualityKeyword(nil, 8, 5)
+	if !bytes.Equal(a, b) {
+		t.Error("equality keyword not deterministic")
+	}
+	if bytes.Equal(EqualityKeyword(nil, 8, 5), EqualityKeyword(nil, 8, 6)) {
+		t.Error("distinct values share an equality keyword")
+	}
+	if bytes.Equal(EqualityKeyword(nil, 8, 5), EqualityKeyword(nil, 16, 5)) {
+		t.Error("distinct widths share an equality keyword")
+	}
+	if bytes.Equal(EqualityKeyword([]byte("a"), 8, 5), EqualityKeyword([]byte("b"), 8, 5)) {
+		t.Error("distinct attributes share an equality keyword")
+	}
+}
+
+// TestEqualityKeywordDisjointFromTuples guards the codec: an equality
+// keyword must never equal an order tuple, or the index would conflate
+// equality and order postings.
+func TestEqualityKeywordDisjointFromTuples(t *testing.T) {
+	s := newScheme(t, 8)
+	tupleSet := make(map[string]struct{})
+	for v := uint64(0); v < 256; v += 17 {
+		ct, err := s.EncryptTuples(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tuple := range ct {
+			tupleSet[string(tuple)] = struct{}{}
+		}
+	}
+	for v := uint64(0); v < 256; v++ {
+		if _, ok := tupleSet[string(EqualityKeyword(nil, 8, v))]; ok {
+			t.Fatalf("equality keyword for %d collides with an order tuple", v)
+		}
+	}
+}
+
+func TestCiphertextsShuffledAndKeyed(t *testing.T) {
+	s := newScheme(t, 16)
+	ct1, err := s.Encrypt(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := s.Encrypt(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same value, same key: same PRF set (order may differ).
+	set := func(ct Ciphertext) map[string]struct{} {
+		m := make(map[string]struct{}, len(ct))
+		for _, c := range ct {
+			m[string(c)] = struct{}{}
+		}
+		return m
+	}
+	s1, s2 := set(ct1), set(ct2)
+	if len(s1) != len(s2) {
+		t.Fatal("re-encryption changed the tuple set size")
+	}
+	for k := range s1 {
+		if _, ok := s2[k]; !ok {
+			t.Fatal("re-encryption changed the tuple set")
+		}
+	}
+	// Different key: disjoint sets.
+	other := newScheme(t, 16)
+	ct3, err := other.Encrypt(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ct3 {
+		if _, ok := s1[string(c)]; ok {
+			t.Fatal("ciphertexts collide across keys")
+		}
+	}
+}
+
+func TestCompareRejectsMultipleCommon(t *testing.T) {
+	// Compare must be strict: a forged pair sharing two values is false.
+	ct := Ciphertext{[]byte("a"), []byte("b"), []byte("c")}
+	tk := Token{[]byte("a"), []byte("b"), []byte("x")}
+	if Compare(ct, tk) {
+		t.Error("two common values accepted")
+	}
+	if Compare(Ciphertext{[]byte("a")}, Token{[]byte("z")}) {
+		t.Error("zero common values accepted")
+	}
+	if !Compare(Ciphertext{[]byte("a"), []byte("b")}, Token{[]byte("b"), []byte("q")}) {
+		t.Error("exactly one common value rejected")
+	}
+}
+
+// TestLeakageFirstDiffBit reproduces the leakage discussion of §VI-A: the
+// number of tuples two same-condition tokens share is exactly m-1, where m
+// is the index (1-based, MSB first) of the first bit where the two query
+// values differ — no more, no less.
+func TestLeakageFirstDiffBit(t *testing.T) {
+	const bits = 8
+	s := newScheme(t, bits)
+	firstDiff := func(x, y uint64) int {
+		for i := 1; i <= bits; i++ {
+			if (x>>(bits-i))&1 != (y>>(bits-i))&1 {
+				return i
+			}
+		}
+		return bits + 1 // equal values
+	}
+	for x := uint64(0); x < 256; x += 7 {
+		tkx, err := s.Token(x, Greater)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := uint64(0); y < 256; y += 5 {
+			tky, err := s.Token(y, Greater)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := firstDiff(x, y) - 1
+			if got := CommonTuples(tkx, tky); got != want {
+				t.Fatalf("tokens(%d,%d): %d common tuples, want %d", x, y, got, want)
+			}
+		}
+	}
+	// Different conditions share nothing below the first diff: tk(x,>) vs
+	// tk(x,<) differ in every tuple's condition byte.
+	tkG, err := s.Token(9, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkL, err := s.Token(9, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CommonTuples(tkG, tkL); got != 0 {
+		t.Errorf("cross-condition tokens share %d tuples, want 0", got)
+	}
+}
+
+func TestCiphertextSize(t *testing.T) {
+	s := newScheme(t, 24)
+	if got := s.CiphertextSize(); got != 24*prf.Size {
+		t.Errorf("CiphertextSize = %d, want %d", got, 24*prf.Size)
+	}
+}

@@ -1,0 +1,34 @@
+package store
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalIndex hardens the index deserializer against corrupted or
+// adversarial state shipped between owner and cloud.
+func FuzzUnmarshalIndex(f *testing.F) {
+	ix := NewIndex()
+	for i := byte(0); i < 5; i++ {
+		if err := ix.Put(label(i), payload(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(ix.Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalIndex(data)
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip to an equal-sized encoding.
+		re := got.Marshal()
+		got2, err := UnmarshalIndex(re)
+		if err != nil {
+			t.Fatalf("re-encoded index failed to parse: %v", err)
+		}
+		if got2.Len() != got.Len() {
+			t.Fatal("round trip changed entry count")
+		}
+	})
+}

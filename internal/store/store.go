@@ -1,0 +1,244 @@
+// Package store provides the three state containers of the Slicer
+// protocols: the history-independent encrypted index dictionary I, the
+// trapdoor state dictionary T kept by the data owner/user, and the set-hash
+// dictionary S kept by the data owner. It also tracks storage footprints so
+// the evaluation harness can reproduce the paper's storage-cost figures.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"slicer/internal/mhash"
+	"slicer/internal/prf"
+)
+
+// EntrySize is the width of index labels and payloads (one PRF output).
+const EntrySize = prf.Size
+
+// Label is an index address l = F(G1, t||c).
+type Label [EntrySize]byte
+
+// Payload is a masked index entry d = F(G2, t||c) XOR Enc(K_R, R).
+type Payload [EntrySize]byte
+
+// LabelFromBytes converts a PRF output into a Label.
+func LabelFromBytes(b []byte) (Label, error) {
+	var l Label
+	if len(b) != EntrySize {
+		return l, fmt.Errorf("store: label must be %d bytes, got %d", EntrySize, len(b))
+	}
+	copy(l[:], b)
+	return l, nil
+}
+
+// PayloadFromBytes converts raw bytes into a Payload.
+func PayloadFromBytes(b []byte) (Payload, error) {
+	var p Payload
+	if len(b) != EntrySize {
+		return p, fmt.Errorf("store: payload must be %d bytes, got %d", EntrySize, len(b))
+	}
+	copy(p[:], b)
+	return p, nil
+}
+
+// Index is the encrypted index I: a history-independent dictionary from
+// PRF-derived labels to masked record handles. Go's map iteration order is
+// independent of insertion history, and no ordering metadata is retained,
+// so the stored structure reveals nothing about insertion order.
+type Index struct {
+	m map[Label]Payload
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{m: make(map[Label]Payload)}
+}
+
+// Put inserts an entry. Inserting a duplicate label is an error: labels are
+// PRF outputs over unique (keyword, epoch, counter) triples, so a collision
+// indicates protocol misuse.
+func (ix *Index) Put(l Label, d Payload) error {
+	if _, exists := ix.m[l]; exists {
+		return fmt.Errorf("store: duplicate index label %x", l[:4])
+	}
+	ix.m[l] = d
+	return nil
+}
+
+// Get looks up a label.
+func (ix *Index) Get(l Label) (Payload, bool) {
+	d, ok := ix.m[l]
+	return d, ok
+}
+
+// Len returns the number of entries.
+func (ix *Index) Len() int { return len(ix.m) }
+
+// SizeBytes returns the logical storage footprint of the index (labels plus
+// payloads), used by the Fig. 4a experiment.
+func (ix *Index) SizeBytes() int { return len(ix.m) * 2 * EntrySize }
+
+// Merge copies every entry of other into ix (applying an index delta shipped
+// by the owner after Insert).
+func (ix *Index) Merge(other *Index) error {
+	for l, d := range other.m {
+		if err := ix.Put(l, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the index. Entries are emitted in map order, which is
+// already history independent.
+func (ix *Index) Marshal() []byte {
+	out := make([]byte, 8, 8+len(ix.m)*2*EntrySize)
+	binary.BigEndian.PutUint64(out, uint64(len(ix.m)))
+	for l, d := range ix.m {
+		out = append(out, l[:]...)
+		out = append(out, d[:]...)
+	}
+	return out
+}
+
+// UnmarshalIndex parses an index produced by Marshal.
+func UnmarshalIndex(data []byte) (*Index, error) {
+	if len(data) < 8 {
+		return nil, errors.New("store: truncated index encoding")
+	}
+	n := binary.BigEndian.Uint64(data)
+	data = data[8:]
+	if uint64(len(data)) != n*2*EntrySize {
+		return nil, errors.New("store: index encoding length mismatch")
+	}
+	ix := &Index{m: make(map[Label]Payload, n)}
+	for i := uint64(0); i < n; i++ {
+		var l Label
+		var d Payload
+		copy(l[:], data[:EntrySize])
+		copy(d[:], data[EntrySize:2*EntrySize])
+		ix.m[l] = d
+		data = data[2*EntrySize:]
+	}
+	return ix, nil
+}
+
+// TrapdoorState is one keyword's entry in T: the newest trapdoor t_j and
+// the number of epochs j.
+type TrapdoorState struct {
+	Trapdoor []byte
+	Epoch    int
+}
+
+// TrapdoorStates is the dictionary T, keyed by raw keyword bytes. The data
+// owner maintains it and ships copies to authorized data users.
+type TrapdoorStates struct {
+	m map[string]TrapdoorState
+}
+
+// NewTrapdoorStates returns an empty T.
+func NewTrapdoorStates() *TrapdoorStates {
+	return &TrapdoorStates{m: make(map[string]TrapdoorState)}
+}
+
+// Get returns the state for a keyword, if present.
+func (t *TrapdoorStates) Get(keyword []byte) (TrapdoorState, bool) {
+	st, ok := t.m[string(keyword)]
+	return st, ok
+}
+
+// Put stores a keyword's state, copying the trapdoor bytes.
+func (t *TrapdoorStates) Put(keyword []byte, st TrapdoorState) {
+	cp := make([]byte, len(st.Trapdoor))
+	copy(cp, st.Trapdoor)
+	t.m[string(keyword)] = TrapdoorState{Trapdoor: cp, Epoch: st.Epoch}
+}
+
+// Len returns the number of tracked keywords.
+func (t *TrapdoorStates) Len() int { return len(t.m) }
+
+// Clone deep-copies T (the owner hands an independent copy to each user).
+func (t *TrapdoorStates) Clone() *TrapdoorStates {
+	out := NewTrapdoorStates()
+	for k, st := range t.m {
+		out.Put([]byte(k), st)
+	}
+	return out
+}
+
+// Range calls f for every (keyword, state) pair until f returns false.
+// Iteration order is unspecified.
+func (t *TrapdoorStates) Range(f func(keyword []byte, st TrapdoorState) bool) {
+	for k, st := range t.m {
+		if !f([]byte(k), st) {
+			return
+		}
+	}
+}
+
+// SizeBytes returns the logical storage footprint of T.
+func (t *TrapdoorStates) SizeBytes() int {
+	total := 0
+	for k, st := range t.m {
+		total += len(k) + len(st.Trapdoor) + 8
+	}
+	return total
+}
+
+// SetHashKey builds the S dictionary key t || j || G1 || G2 used by
+// Algorithms 1 and 2. Components are length-delimited by construction
+// (t, G1, G2 have fixed widths within one deployment).
+func SetHashKey(trapdoor []byte, epoch int, g1, g2 []byte) string {
+	key := make([]byte, 0, len(trapdoor)+8+len(g1)+len(g2))
+	key = append(key, trapdoor...)
+	var j [8]byte
+	binary.BigEndian.PutUint64(j[:], uint64(epoch))
+	key = append(key, j[:]...)
+	key = append(key, g1...)
+	key = append(key, g2...)
+	return string(key)
+}
+
+// SetHashes is the dictionary S mapping t||j||G1||G2 to the multiset hash of
+// the keyword's cumulative encrypted result set.
+type SetHashes struct {
+	m map[string]mhash.Hash
+}
+
+// NewSetHashes returns an empty S.
+func NewSetHashes() *SetHashes {
+	return &SetHashes{m: make(map[string]mhash.Hash)}
+}
+
+// Put stores a hash under a key.
+func (s *SetHashes) Put(key string, h mhash.Hash) { s.m[key] = h }
+
+// Pop removes and returns the hash under a key (Algorithm 2 line 14).
+func (s *SetHashes) Pop(key string) (mhash.Hash, bool) {
+	h, ok := s.m[key]
+	if ok {
+		delete(s.m, key)
+	}
+	return h, ok
+}
+
+// Get returns the hash under a key without removing it.
+func (s *SetHashes) Get(key string) (mhash.Hash, bool) {
+	h, ok := s.m[key]
+	return h, ok
+}
+
+// Len returns the number of stored hashes.
+func (s *SetHashes) Len() int { return len(s.m) }
+
+// Range calls f for every (key, hash) pair until f returns false.
+// Iteration order is unspecified.
+func (s *SetHashes) Range(f func(key string, h mhash.Hash) bool) {
+	for k, h := range s.m {
+		if !f(k, h) {
+			return
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package symenc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newCipher(t *testing.T) *Cipher {
+	t.Helper()
+	c, err := NewRandomCipher()
+	if err != nil {
+		t.Fatalf("NewRandomCipher: %v", err)
+	}
+	return c
+}
+
+func TestNewCipherKeySize(t *testing.T) {
+	if _, err := NewCipher(make([]byte, KeySize-1)); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := NewCipher(make([]byte, KeySize)); err != nil {
+		t.Errorf("valid key rejected: %v", err)
+	}
+}
+
+func TestEncryptIDRoundTrip(t *testing.T) {
+	c := newCipher(t)
+	f := func(id uint64) bool {
+		got, err := c.DecryptID(c.EncryptID(id))
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptIDDeterministicAndInjective(t *testing.T) {
+	c := newCipher(t)
+	a := c.EncryptID(42)
+	b := c.EncryptID(42)
+	if a != b {
+		t.Error("EncryptID not deterministic")
+	}
+	if c.EncryptID(42) == c.EncryptID(43) {
+		t.Error("distinct IDs share a ciphertext block")
+	}
+}
+
+func TestDecryptIDRejectsGarbage(t *testing.T) {
+	c := newCipher(t)
+	var garbage [BlockSize]byte
+	copy(garbage[:], "not a handle....")
+	if _, err := c.DecryptID(garbage); err == nil {
+		t.Error("garbage block decrypted to a handle")
+	}
+	// A handle under a different key must not validate either (except with
+	// negligible probability; this is a sanity check, not a proof).
+	other := newCipher(t)
+	if _, err := other.DecryptID(c.EncryptID(7)); err == nil {
+		t.Error("cross-key handle decrypted cleanly")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	c := newCipher(t)
+	f := func(plaintext []byte) bool {
+		sealed, err := c.Seal(plaintext)
+		if err != nil {
+			return false
+		}
+		got, err := c.Open(sealed)
+		return err == nil && bytes.Equal(got, plaintext)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSealRandomized(t *testing.T) {
+	c := newCipher(t)
+	s1, err := c.Seal([]byte("same message"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	s2, err := c.Seal([]byte("same message"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if bytes.Equal(s1, s2) {
+		t.Error("Seal is deterministic (nonce reuse?)")
+	}
+}
+
+func TestOpenDetectsTampering(t *testing.T) {
+	c := newCipher(t)
+	sealed, err := c.Seal([]byte("the quick brown fox"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	for i := 0; i < len(sealed); i++ {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x01
+		if _, err := c.Open(tampered); !errors.Is(err, ErrAuthentication) {
+			t.Fatalf("flip at byte %d: err=%v, want ErrAuthentication", i, err)
+		}
+	}
+}
+
+func TestOpenRejectsShortAndCrossKey(t *testing.T) {
+	c := newCipher(t)
+	if _, err := c.Open(make([]byte, nonceSize+tagSize-1)); !errors.Is(err, ErrCiphertextTooShort) {
+		t.Errorf("short ciphertext: err=%v, want ErrCiphertextTooShort", err)
+	}
+	sealed, err := c.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	other := newCipher(t)
+	if _, err := other.Open(sealed); !errors.Is(err, ErrAuthentication) {
+		t.Errorf("cross-key open: err=%v, want ErrAuthentication", err)
+	}
+}
+
+func TestKeyBytesRebuildsCipher(t *testing.T) {
+	c := newCipher(t)
+	clone, err := NewCipher(c.KeyBytes())
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	sealed, err := c.Seal([]byte("shared"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := clone.Open(sealed)
+	if err != nil || string(got) != "shared" {
+		t.Errorf("clone.Open = %q, %v", got, err)
+	}
+	if clone.EncryptID(9) != c.EncryptID(9) {
+		t.Error("clone disagrees on EncryptID")
+	}
+}

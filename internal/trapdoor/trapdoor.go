@@ -1,0 +1,210 @@
+// Package trapdoor implements the RSA trapdoor permutation used for
+// forward-secure trapdoor chains (Bost's Σοφος technique, adopted by Slicer
+// Algorithm 2).
+//
+// The permutation acts on the fixed group Z_n* for an RSA modulus n:
+//
+//	π_pk(x)      = x^e mod n   (easy: everyone)
+//	π_sk^{-1}(x) = x^d mod n   (easy only with the trapdoor d)
+//
+// The data owner advances a keyword's trapdoor with π_sk^{-1} on every
+// insertion epoch; the cloud, holding only the public key, can walk the
+// chain backwards with π_pk from the newest trapdoor it is handed, but can
+// never move forwards — which is exactly the forward-security property.
+package trapdoor
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// DefaultModulusBits is the default RSA modulus size. 1024 bits is used for
+// benchmarks to mirror the lightweight setting of the paper's prototype;
+// production deployments should use >= 2048.
+const DefaultModulusBits = 1024
+
+var (
+	// ErrNotInDomain indicates a value outside [1, n).
+	ErrNotInDomain = errors.New("trapdoor: value outside permutation domain")
+
+	one = big.NewInt(1)
+)
+
+// PublicKey lets anyone evaluate the permutation in the forward (public)
+// direction.
+type PublicKey struct {
+	N *big.Int // modulus
+	E *big.Int // public exponent
+}
+
+// SecretKey additionally enables the inverse direction.
+type SecretKey struct {
+	PublicKey
+	D *big.Int // private exponent
+}
+
+// GenerateKey samples an RSA trapdoor permutation with a modulus of the
+// given bit length.
+func GenerateKey(bits int) (*SecretKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("trapdoor: modulus of %d bits is too small", bits)
+	}
+	e := big.NewInt(65537)
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("sample p: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("sample q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int)
+		if d.ModInverse(e, phi) == nil {
+			continue // e not invertible mod phi; resample
+		}
+		return &SecretKey{
+			PublicKey: PublicKey{N: n, E: e},
+			D:         d,
+		}, nil
+	}
+}
+
+// Size returns the fixed byte width of encoded domain elements.
+func (pk *PublicKey) Size() int {
+	return (pk.N.BitLen() + 7) / 8
+}
+
+// Sample draws a uniformly random element of the permutation domain,
+// encoded at fixed width. It is used to mint fresh keyword trapdoors t_0.
+func (pk *PublicKey) Sample() ([]byte, error) {
+	upper := new(big.Int).Sub(pk.N, one)
+	v, err := rand.Int(rand.Reader, upper)
+	if err != nil {
+		return nil, fmt.Errorf("sample trapdoor: %w", err)
+	}
+	v.Add(v, one) // uniform in [1, n)
+	return pk.encode(v), nil
+}
+
+// Forward evaluates π_pk(x): one step backwards along a trapdoor chain.
+func (pk *PublicKey) Forward(x []byte) ([]byte, error) {
+	v, err := pk.decode(x)
+	if err != nil {
+		return nil, err
+	}
+	v.Exp(v, pk.E, pk.N)
+	return pk.encode(v), nil
+}
+
+// Inverse evaluates π_sk^{-1}(x): one step forwards along a trapdoor chain.
+// Only the data owner holds the secret key.
+func (sk *SecretKey) Inverse(x []byte) ([]byte, error) {
+	v, err := sk.decode(x)
+	if err != nil {
+		return nil, err
+	}
+	v.Exp(v, sk.D, sk.N)
+	return sk.encode(v), nil
+}
+
+func (pk *PublicKey) encode(v *big.Int) []byte {
+	return v.FillBytes(make([]byte, pk.Size()))
+}
+
+func (pk *PublicKey) decode(x []byte) (*big.Int, error) {
+	if len(x) != pk.Size() {
+		return nil, fmt.Errorf("trapdoor: element must be %d bytes, got %d", pk.Size(), len(x))
+	}
+	v := new(big.Int).SetBytes(x)
+	if v.Sign() == 0 || v.Cmp(pk.N) >= 0 {
+		return nil, ErrNotInDomain
+	}
+	return v, nil
+}
+
+// MarshalSecret serializes the full keypair (modulus, public exponent,
+// private exponent) for owner-state persistence. Treat the output as
+// sensitive material.
+func (sk *SecretKey) MarshalSecret() []byte {
+	out := appendChunk(nil, sk.N.Bytes())
+	out = appendChunk(out, sk.E.Bytes())
+	return appendChunk(out, sk.D.Bytes())
+}
+
+// UnmarshalSecret parses a keypair produced by MarshalSecret.
+func UnmarshalSecret(data []byte) (*SecretKey, error) {
+	nb, rest, err := readChunk(data)
+	if err != nil {
+		return nil, fmt.Errorf("trapdoor: parse modulus: %w", err)
+	}
+	eb, rest, err := readChunk(rest)
+	if err != nil {
+		return nil, fmt.Errorf("trapdoor: parse exponent: %w", err)
+	}
+	db, _, err := readChunk(rest)
+	if err != nil {
+		return nil, fmt.Errorf("trapdoor: parse private exponent: %w", err)
+	}
+	sk := &SecretKey{
+		PublicKey: PublicKey{N: new(big.Int).SetBytes(nb), E: new(big.Int).SetBytes(eb)},
+		D:         new(big.Int).SetBytes(db),
+	}
+	if sk.N.Sign() <= 0 || sk.E.Sign() <= 0 || sk.D.Sign() <= 0 {
+		return nil, errors.New("trapdoor: invalid secret key encoding")
+	}
+	return sk, nil
+}
+
+// MarshalPublic serializes the public key (modulus then exponent, each
+// length-prefixed) so it can be shipped to clouds.
+func (pk *PublicKey) MarshalPublic() []byte {
+	nb := pk.N.Bytes()
+	eb := pk.E.Bytes()
+	out := make([]byte, 0, 4+len(nb)+4+len(eb))
+	out = appendChunk(out, nb)
+	out = appendChunk(out, eb)
+	return out
+}
+
+// UnmarshalPublic parses a key produced by MarshalPublic.
+func UnmarshalPublic(data []byte) (*PublicKey, error) {
+	nb, rest, err := readChunk(data)
+	if err != nil {
+		return nil, fmt.Errorf("trapdoor: parse modulus: %w", err)
+	}
+	eb, _, err := readChunk(rest)
+	if err != nil {
+		return nil, fmt.Errorf("trapdoor: parse exponent: %w", err)
+	}
+	pk := &PublicKey{N: new(big.Int).SetBytes(nb), E: new(big.Int).SetBytes(eb)}
+	if pk.N.Sign() <= 0 || pk.E.Sign() <= 0 {
+		return nil, errors.New("trapdoor: invalid public key encoding")
+	}
+	return pk, nil
+}
+
+func appendChunk(dst, chunk []byte) []byte {
+	dst = append(dst, byte(len(chunk)>>24), byte(len(chunk)>>16), byte(len(chunk)>>8), byte(len(chunk)))
+	return append(dst, chunk...)
+}
+
+func readChunk(data []byte) (chunk, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, errors.New("short length prefix")
+	}
+	n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+	if n < 0 || len(data)-4 < n {
+		return nil, nil, errors.New("truncated chunk")
+	}
+	return data[4 : 4+n], data[4+n:], nil
+}

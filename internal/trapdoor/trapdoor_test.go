@@ -1,0 +1,205 @@
+package trapdoor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+const testBits = 256 // small modulus keeps tests fast; size is covered below
+
+func genKey(t *testing.T) *SecretKey {
+	t.Helper()
+	sk, err := GenerateKey(testBits)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return sk
+}
+
+func TestGenerateKeyRejectsTiny(t *testing.T) {
+	if _, err := GenerateKey(32); err == nil {
+		t.Error("32-bit modulus accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	sk := genKey(t)
+	for i := 0; i < 20; i++ {
+		x, err := sk.Sample()
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		y, err := sk.Inverse(x)
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		back, err := sk.Forward(y)
+		if err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+		if !bytes.Equal(back, x) {
+			t.Fatalf("Forward(Inverse(x)) != x")
+		}
+		// And the other composition order.
+		fwd, err := sk.Forward(x)
+		if err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+		back, err = sk.Inverse(fwd)
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		if !bytes.Equal(back, x) {
+			t.Fatalf("Inverse(Forward(x)) != x")
+		}
+	}
+}
+
+func TestChainWalk(t *testing.T) {
+	sk := genKey(t)
+	t0, err := sk.Sample()
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	// Owner advances the chain 5 epochs with the secret key.
+	chain := [][]byte{t0}
+	cur := t0
+	for i := 0; i < 5; i++ {
+		next, err := sk.Inverse(cur)
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	// Cloud walks backwards from the newest trapdoor with the public key.
+	pk := &sk.PublicKey
+	cur = chain[len(chain)-1]
+	for i := len(chain) - 2; i >= 0; i-- {
+		var err error
+		cur, err = pk.Forward(cur)
+		if err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+		if !bytes.Equal(cur, chain[i]) {
+			t.Fatalf("chain walk diverged at epoch %d", i)
+		}
+	}
+}
+
+func TestDomainValidation(t *testing.T) {
+	sk := genKey(t)
+	pk := &sk.PublicKey
+	if _, err := pk.Forward(make([]byte, pk.Size()-1)); err == nil {
+		t.Error("short element accepted")
+	}
+	zero := make([]byte, pk.Size())
+	if _, err := pk.Forward(zero); !errors.Is(err, ErrNotInDomain) {
+		t.Errorf("zero element: err=%v, want ErrNotInDomain", err)
+	}
+	tooBig := pk.N.Bytes()
+	padded := make([]byte, pk.Size())
+	copy(padded[pk.Size()-len(tooBig):], tooBig)
+	if _, err := pk.Forward(padded); !errors.Is(err, ErrNotInDomain) {
+		t.Errorf("element == N: err=%v, want ErrNotInDomain", err)
+	}
+}
+
+func TestSampleEncodedWidth(t *testing.T) {
+	sk := genKey(t)
+	x, err := sk.Sample()
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if len(x) != sk.Size() {
+		t.Errorf("sample width %d, want %d", len(x), sk.Size())
+	}
+}
+
+func TestMarshalPublicRoundTrip(t *testing.T) {
+	sk := genKey(t)
+	pk2, err := UnmarshalPublic(sk.MarshalPublic())
+	if err != nil {
+		t.Fatalf("UnmarshalPublic: %v", err)
+	}
+	if pk2.N.Cmp(sk.N) != 0 || pk2.E.Cmp(sk.E) != 0 {
+		t.Error("public key round trip mismatch")
+	}
+	x, err := sk.Sample()
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	a, err := sk.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	b, err := pk2.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward (decoded key): %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("decoded public key computes differently")
+	}
+}
+
+func TestMarshalSecretRoundTrip(t *testing.T) {
+	sk := genKey(t)
+	sk2, err := UnmarshalSecret(sk.MarshalSecret())
+	if err != nil {
+		t.Fatalf("UnmarshalSecret: %v", err)
+	}
+	x, err := sk.Sample()
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	a, err := sk.Inverse(x)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	b, err := sk2.Inverse(x)
+	if err != nil {
+		t.Fatalf("Inverse (decoded key): %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("decoded secret key computes differently")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalPublic([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage public key accepted")
+	}
+	if _, err := UnmarshalSecret([]byte{0, 0, 0, 1, 7}); err == nil {
+		t.Error("garbage secret key accepted")
+	}
+}
+
+func TestOnlySecretKeyInverts(t *testing.T) {
+	// Structural check of the API (the hardness itself is RSA): the public
+	// key type simply has no inverse operation, and forward images of two
+	// distinct elements stay distinct (permutation property).
+	sk := genKey(t)
+	x1, err := sk.Sample()
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	x2, err := sk.Sample()
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if bytes.Equal(x1, x2) {
+		t.Skip("sampled the same element twice (astronomically unlikely)")
+	}
+	y1, err := sk.Forward(x1)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	y2, err := sk.Forward(x2)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if bytes.Equal(y1, y2) {
+		t.Error("permutation mapped distinct inputs to one output")
+	}
+}

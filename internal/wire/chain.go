@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"encoding/json"
+	"sync"
+
+	"slicer/internal/chain"
+)
+
+// Chain RPC methods.
+const (
+	MethodChainSubmit  = "chain.submit"
+	MethodChainStep    = "chain.step"
+	MethodChainReceipt = "chain.receipt"
+	MethodChainBalance = "chain.balance"
+	MethodChainNonce   = "chain.nonce"
+	MethodChainCall    = "chain.call"
+	MethodChainHeight  = "chain.height"
+)
+
+// ReceiptMsg is the wire form of a receipt.
+type ReceiptMsg struct {
+	Found           bool          `json:"found"`
+	Status          bool          `json:"status"`
+	GasUsed         uint64        `json:"gasUsed"`
+	ContractAddress chain.Address `json:"contractAddress"`
+	ReturnData      []byte        `json:"returnData"`
+	Err             string        `json:"err"`
+}
+
+// CallMsg is a static-call request.
+type CallMsg struct {
+	From     chain.Address `json:"from"`
+	To       chain.Address `json:"to"`
+	Input    []byte        `json:"input"`
+	GasLimit uint64        `json:"gasLimit"`
+}
+
+// CallResult is a static-call response.
+type CallResult struct {
+	Return  []byte `json:"return"`
+	GasUsed uint64 `json:"gasUsed"`
+}
+
+// ChainServer exposes one blockchain node over RPC. In a real deployment
+// every validator runs one; clients may talk to any of them. For the
+// in-process network behind a single server, MethodChainStep seals on the
+// scheduled proposer and propagates to all nodes.
+type ChainServer struct {
+	mu      sync.Mutex
+	network *chain.Network
+	srv     *Server
+}
+
+// NewChainServer wraps a network.
+func NewChainServer(network *chain.Network) *ChainServer {
+	cs := &ChainServer{network: network, srv: NewServer()}
+	cs.srv.Handle(MethodChainSubmit, cs.handleSubmit)
+	cs.srv.Handle(MethodChainStep, cs.handleStep)
+	cs.srv.Handle(MethodChainReceipt, cs.handleReceipt)
+	cs.srv.Handle(MethodChainBalance, cs.handleBalance)
+	cs.srv.Handle(MethodChainNonce, cs.handleNonce)
+	cs.srv.Handle(MethodChainCall, cs.handleCall)
+	cs.srv.Handle(MethodChainHeight, cs.handleHeight)
+	return cs
+}
+
+// Listen binds the server and returns its address.
+func (cs *ChainServer) Listen(addr string) (string, error) { return cs.srv.Listen(addr) }
+
+// Close shuts the server down.
+func (cs *ChainServer) Close() error { return cs.srv.Close() }
+
+func (cs *ChainServer) handleSubmit(params json.RawMessage) (any, error) {
+	var tx chain.Transaction
+	if err := json.Unmarshal(params, &tx); err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err := cs.network.SubmitTx(&tx); err != nil {
+		return nil, err
+	}
+	h := tx.Hash()
+	return h[:], nil
+}
+
+func (cs *ChainServer) handleStep(json.RawMessage) (any, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	block, err := cs.network.Step()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]uint64{"number": block.Header.Number}, nil
+}
+
+func (cs *ChainServer) handleReceipt(params json.RawMessage) (any, error) {
+	var h chain.Hash
+	var raw []byte
+	if err := json.Unmarshal(params, &raw); err != nil {
+		return nil, err
+	}
+	copy(h[:], raw)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	r, ok := cs.network.Leader().Receipt(h)
+	if !ok {
+		return &ReceiptMsg{Found: false}, nil
+	}
+	return &ReceiptMsg{
+		Found:           true,
+		Status:          r.Status,
+		GasUsed:         r.GasUsed,
+		ContractAddress: r.ContractAddress,
+		ReturnData:      r.ReturnData,
+		Err:             r.Err,
+	}, nil
+}
+
+func (cs *ChainServer) handleBalance(params json.RawMessage) (any, error) {
+	var a chain.Address
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.network.Leader().Balance(a), nil
+}
+
+func (cs *ChainServer) handleNonce(params json.RawMessage) (any, error) {
+	var a chain.Address
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.network.Leader().NextNonce(a), nil
+}
+
+func (cs *ChainServer) handleCall(params json.RawMessage) (any, error) {
+	var msg CallMsg
+	if err := json.Unmarshal(params, &msg); err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ret, gas, err := cs.network.Leader().CallStatic(msg.From, msg.To, msg.Input, msg.GasLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &CallResult{Return: ret, GasUsed: gas}, nil
+}
+
+func (cs *ChainServer) handleHeight(json.RawMessage) (any, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.network.Leader().Height(), nil
+}
+
+// ChainClient is a typed client for a remote chain node.
+type ChainClient struct {
+	c *Client
+}
+
+// DialChain connects to a chain server.
+func DialChain(addr string) (*ChainClient, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ChainClient{c: c}, nil
+}
+
+// Submit queues a transaction and returns its hash.
+func (cc *ChainClient) Submit(tx *chain.Transaction) (chain.Hash, error) {
+	var raw []byte
+	if err := cc.c.Call(MethodChainSubmit, tx, &raw); err != nil {
+		return chain.Hash{}, err
+	}
+	var h chain.Hash
+	copy(h[:], raw)
+	return h, nil
+}
+
+// Step asks the network to seal the next block.
+func (cc *ChainClient) Step() (uint64, error) {
+	var out map[string]uint64
+	if err := cc.c.Call(MethodChainStep, nil, &out); err != nil {
+		return 0, err
+	}
+	return out["number"], nil
+}
+
+// Receipt fetches a receipt by transaction hash.
+func (cc *ChainClient) Receipt(h chain.Hash) (*ReceiptMsg, error) {
+	var r ReceiptMsg
+	if err := cc.c.Call(MethodChainReceipt, h[:], &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Mine submits a transaction, seals a block and returns the receipt.
+func (cc *ChainClient) Mine(tx *chain.Transaction) (*ReceiptMsg, error) {
+	h, err := cc.Submit(tx)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cc.Step(); err != nil {
+		return nil, err
+	}
+	return cc.Receipt(h)
+}
+
+// Balance reads an account balance.
+func (cc *ChainClient) Balance(a chain.Address) (uint64, error) {
+	var v uint64
+	err := cc.c.Call(MethodChainBalance, a, &v)
+	return v, err
+}
+
+// Nonce reads an account's next nonce.
+func (cc *ChainClient) Nonce(a chain.Address) (uint64, error) {
+	var v uint64
+	err := cc.c.Call(MethodChainNonce, a, &v)
+	return v, err
+}
+
+// CallStatic executes a read-only contract call.
+func (cc *ChainClient) CallStatic(msg *CallMsg) (*CallResult, error) {
+	var out CallResult
+	if err := cc.c.Call(MethodChainCall, msg, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Height reads the chain height.
+func (cc *ChainClient) Height() (uint64, error) {
+	var v uint64
+	err := cc.c.Call(MethodChainHeight, nil, &v)
+	return v, err
+}
+
+// Close closes the connection.
+func (cc *ChainClient) Close() error { return cc.c.Close() }

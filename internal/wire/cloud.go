@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"slicer/internal/accumulator"
+	"slicer/internal/core"
+	"slicer/internal/store"
+	"slicer/internal/trapdoor"
+)
+
+// Cloud RPC methods.
+const (
+	MethodCloudInit   = "cloud.init"
+	MethodCloudUpdate = "cloud.update"
+	MethodCloudSearch = "cloud.search"
+	MethodCloudStats  = "cloud.stats"
+)
+
+// CloudInitMsg carries the owner's CloudState over the wire.
+type CloudInitMsg struct {
+	Params      core.Params `json:"params"`
+	AccPub      []byte      `json:"accPub"`
+	TrapdoorPub []byte      `json:"trapdoorPub"`
+	Index       []byte      `json:"index"`
+	Primes      [][]byte    `json:"primes"`
+	Ac          []byte      `json:"ac"`
+	// WitnessCached selects the cloud's witness strategy.
+	WitnessCached bool `json:"witnessCached"`
+}
+
+// UpdateMsg carries an UpdateOutput delta over the wire.
+type UpdateMsg struct {
+	Index  []byte   `json:"index"`
+	Primes [][]byte `json:"primes"`
+	Ac     []byte   `json:"ac"`
+}
+
+// CloudStats reports server-side sizes (used by experiments and examples).
+type CloudStats struct {
+	IndexEntries int `json:"indexEntries"`
+	IndexBytes   int `json:"indexBytes"`
+	Primes       int `json:"primes"`
+	ADSBytes     int `json:"adsBytes"`
+}
+
+// EncodeCloudInit converts an owner's CloudState into its wire form.
+func EncodeCloudInit(st *core.CloudState, cached bool) *CloudInitMsg {
+	return &CloudInitMsg{
+		Params:        st.Params,
+		AccPub:        st.AccumulatorPub.Marshal(),
+		TrapdoorPub:   st.TrapdoorPub.MarshalPublic(),
+		Index:         st.Index.Marshal(),
+		Primes:        encodePrimes(st.Primes),
+		Ac:            st.Ac.Bytes(),
+		WitnessCached: cached,
+	}
+}
+
+// DecodeCloudInit parses a wire CloudState.
+func DecodeCloudInit(msg *CloudInitMsg) (*core.CloudState, core.WitnessMode, error) {
+	accPub, err := accumulator.UnmarshalPublic(msg.AccPub)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: accumulator params: %w", err)
+	}
+	tpk, err := trapdoor.UnmarshalPublic(msg.TrapdoorPub)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: trapdoor key: %w", err)
+	}
+	ix, err := store.UnmarshalIndex(msg.Index)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: index: %w", err)
+	}
+	mode := core.WitnessOnDemand
+	if msg.WitnessCached {
+		mode = core.WitnessCached
+	}
+	return &core.CloudState{
+		Params:         msg.Params,
+		AccumulatorPub: accPub,
+		TrapdoorPub:    tpk,
+		Index:          ix,
+		Primes:         decodePrimes(msg.Primes),
+		Ac:             new(big.Int).SetBytes(msg.Ac),
+	}, mode, nil
+}
+
+// EncodeUpdate converts an UpdateOutput into its wire form.
+func EncodeUpdate(out *core.UpdateOutput) *UpdateMsg {
+	return &UpdateMsg{
+		Index:  out.Index.Marshal(),
+		Primes: encodePrimes(out.Primes),
+		Ac:     out.Ac.Bytes(),
+	}
+}
+
+// DecodeUpdate parses a wire UpdateOutput.
+func DecodeUpdate(msg *UpdateMsg) (*core.UpdateOutput, error) {
+	ix, err := store.UnmarshalIndex(msg.Index)
+	if err != nil {
+		return nil, fmt.Errorf("wire: index delta: %w", err)
+	}
+	return &core.UpdateOutput{
+		Index:  ix,
+		Primes: decodePrimes(msg.Primes),
+		Ac:     new(big.Int).SetBytes(msg.Ac),
+	}, nil
+}
+
+func encodePrimes(primes []*big.Int) [][]byte {
+	out := make([][]byte, len(primes))
+	for i, p := range primes {
+		out[i] = p.Bytes()
+	}
+	return out
+}
+
+func decodePrimes(raw [][]byte) []*big.Int {
+	out := make([]*big.Int, len(raw))
+	for i, b := range raw {
+		out[i] = new(big.Int).SetBytes(b)
+	}
+	return out
+}
+
+// CloudServer hosts a core.Cloud behind the RPC protocol.
+type CloudServer struct {
+	mu    sync.Mutex
+	cloud *core.Cloud
+	srv   *Server
+}
+
+// NewCloudServer creates an un-initialized cloud server; the owner
+// initializes it remotely with MethodCloudInit.
+func NewCloudServer() *CloudServer {
+	cs := &CloudServer{srv: NewServer()}
+	cs.srv.Handle(MethodCloudInit, cs.handleInit)
+	cs.srv.Handle(MethodCloudUpdate, cs.handleUpdate)
+	cs.srv.Handle(MethodCloudSearch, cs.handleSearch)
+	cs.srv.Handle(MethodCloudStats, cs.handleStats)
+	return cs
+}
+
+// Listen binds the server and returns its address.
+func (cs *CloudServer) Listen(addr string) (string, error) { return cs.srv.Listen(addr) }
+
+// Close shuts the server down.
+func (cs *CloudServer) Close() error { return cs.srv.Close() }
+
+// Snapshot serializes the hosted cloud's state (nil if uninitialized), for
+// persistence across server restarts.
+func (cs *CloudServer) Snapshot() ([]byte, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.cloud == nil {
+		return nil, nil
+	}
+	return cs.cloud.Marshal()
+}
+
+// Restore loads a previously snapshotted cloud state. It may only run
+// before the owner initializes the server.
+func (cs *CloudServer) Restore(data []byte) error {
+	cloud, err := core.UnmarshalCloud(data)
+	if err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.cloud != nil {
+		return errors.New("wire: cloud already initialized")
+	}
+	cs.cloud = cloud
+	return nil
+}
+
+func (cs *CloudServer) handleInit(params json.RawMessage) (any, error) {
+	var msg CloudInitMsg
+	if err := json.Unmarshal(params, &msg); err != nil {
+		return nil, err
+	}
+	st, mode, err := DecodeCloudInit(&msg)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := core.NewCloud(st, mode)
+	if err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.cloud != nil {
+		return nil, errors.New("wire: cloud already initialized")
+	}
+	cs.cloud = cloud
+	return map[string]bool{"ok": true}, nil
+}
+
+func (cs *CloudServer) get() (*core.Cloud, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.cloud == nil {
+		return nil, errors.New("wire: cloud not initialized")
+	}
+	return cs.cloud, nil
+}
+
+func (cs *CloudServer) handleUpdate(params json.RawMessage) (any, error) {
+	cloud, err := cs.get()
+	if err != nil {
+		return nil, err
+	}
+	var msg UpdateMsg
+	if err := json.Unmarshal(params, &msg); err != nil {
+		return nil, err
+	}
+	out, err := DecodeUpdate(&msg)
+	if err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err := cloud.ApplyUpdate(out); err != nil {
+		return nil, err
+	}
+	return map[string]bool{"ok": true}, nil
+}
+
+func (cs *CloudServer) handleSearch(params json.RawMessage) (any, error) {
+	cloud, err := cs.get()
+	if err != nil {
+		return nil, err
+	}
+	var req core.SearchRequest
+	if err := json.Unmarshal(params, &req); err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cloud.Search(&req)
+}
+
+func (cs *CloudServer) handleStats(json.RawMessage) (any, error) {
+	cloud, err := cs.get()
+	if err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return &CloudStats{
+		IndexEntries: cloud.IndexLen(),
+		IndexBytes:   cloud.IndexSizeBytes(),
+		Primes:       cloud.PrimeCount(),
+		ADSBytes:     cloud.ADSSizeBytes(),
+	}, nil
+}
+
+// CloudClient is a typed client for a remote cloud.
+type CloudClient struct {
+	c *Client
+}
+
+// DialCloud connects to a cloud server.
+func DialCloud(addr string) (*CloudClient, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &CloudClient{c: c}, nil
+}
+
+// Init ships the owner's CloudState to the server.
+func (cc *CloudClient) Init(st *core.CloudState, cached bool) error {
+	return cc.c.Call(MethodCloudInit, EncodeCloudInit(st, cached), nil)
+}
+
+// Update ships an insert delta.
+func (cc *CloudClient) Update(out *core.UpdateOutput) error {
+	return cc.c.Call(MethodCloudUpdate, EncodeUpdate(out), nil)
+}
+
+// Search executes a remote search.
+func (cc *CloudClient) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
+	var resp core.SearchResponse
+	if err := cc.c.Call(MethodCloudSearch, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches server-side sizes.
+func (cc *CloudClient) Stats() (*CloudStats, error) {
+	var st CloudStats
+	if err := cc.c.Call(MethodCloudStats, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Close closes the connection.
+func (cc *CloudClient) Close() error { return cc.c.Close() }

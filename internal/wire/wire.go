@@ -1,0 +1,230 @@
+// Package wire implements the message layer for deploying Slicer's parties
+// on separate machines: a length-prefixed JSON protocol over TCP, a cloud
+// server exposing the search service, a chain server exposing a blockchain
+// node, and typed clients for both. cmd/slicer-cloud and cmd/slicer-chain
+// wrap the servers; examples/distributed drives a full deployment over
+// loopback TCP.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxMessageSize bounds a single message (64 MiB) so a malformed peer
+// cannot trigger unbounded allocation.
+const MaxMessageSize = 64 << 20
+
+// Request is one framed RPC request.
+type Request struct {
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Response is one framed RPC response.
+type Response struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// WriteMessage frames and writes one JSON message.
+func WriteMessage(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("wire: message of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMessage reads one framed JSON message into v.
+func ReadMessage(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return fmt.Errorf("wire: message of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Handler serves one method. Params arrive as raw JSON; the returned value
+// is marshaled into the response.
+type Handler func(params json.RawMessage) (any, error)
+
+// Server is a minimal RPC server multiplexing named handlers over TCP.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler)}
+}
+
+// Handle registers a method handler.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen starts accepting connections on addr ("host:port", empty port
+// picks a free one). It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req Request
+		if err := ReadMessage(r, &req); err != nil {
+			return // connection closed or corrupted framing
+		}
+		s.mu.Lock()
+		h, ok := s.handlers[req.Method]
+		s.mu.Unlock()
+		var resp Response
+		if !ok {
+			resp.Error = fmt.Sprintf("unknown method %q", req.Method)
+		} else if result, err := h(req.Params); err != nil {
+			resp.Error = err.Error()
+		} else {
+			body, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = fmt.Sprintf("marshal result: %v", err)
+			} else {
+				resp.Result = body
+			}
+		}
+		if err := WriteMessage(w, &resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous RPC client over one TCP connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Call invokes a method, decoding the result into out (which may be nil).
+func (c *Client) Call(method string, params any, out any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var raw json.RawMessage
+	if params != nil {
+		body, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("wire: marshal params: %w", err)
+		}
+		raw = body
+	}
+	if err := WriteMessage(c.w, &Request{Method: method, Params: raw}); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	var resp Response
+	if err := ReadMessage(c.r, &resp); err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return errors.New(resp.Error)
+	}
+	if out != nil && resp.Result != nil {
+		return json.Unmarshal(resp.Result, out)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"slicer/internal/core"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 100, Bits: 16, Seed: 7}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Attrs[0].Value != b[i].Attrs[0].Value {
+			t.Fatalf("record %d differs across runs", i)
+		}
+	}
+	c := Generate(Config{N: 100, Bits: 16, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i].Attrs[0].Value != c[i].Attrs[0].Value {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical values")
+	}
+}
+
+func TestGenerateRespectsDomain(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Zipf, Clustered} {
+		for _, bits := range []int{4, 8, 16} {
+			records := Generate(Config{N: 500, Bits: bits, Dist: dist, Seed: 3})
+			maxV := uint64(1)<<uint(bits) - 1
+			for _, rec := range records {
+				if rec.Attrs[0].Value > maxV {
+					t.Fatalf("%v/%d-bit: value %d out of domain", dist, bits, rec.Attrs[0].Value)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateIDsAndAttr(t *testing.T) {
+	records := Generate(Config{N: 10, Bits: 8, Seed: 1, FirstID: 100, Attr: "age"})
+	for i, rec := range records {
+		if rec.ID != 100+uint64(i) {
+			t.Errorf("record %d ID = %d", i, rec.ID)
+		}
+		if rec.Attrs[0].Name != "age" {
+			t.Errorf("record %d attr = %q", i, rec.Attrs[0].Name)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	records := Generate(Config{N: 5000, Bits: 16, Dist: Zipf, Seed: 2})
+	small := 0
+	for _, rec := range records {
+		if rec.Attrs[0].Value < 16 {
+			small++
+		}
+	}
+	// A zipf(1.3) draw concentrates mass near zero; uniform would put
+	// ~0.02% below 16, zipf puts the majority there.
+	if small < len(records)/2 {
+		t.Errorf("zipf skew missing: only %d/%d values below 16", small, len(records))
+	}
+}
+
+func TestQueriesMixes(t *testing.T) {
+	cfg := Config{N: 10, Bits: 8, Seed: 4}
+	eq := Queries(cfg, EqualityOnly, 50)
+	for _, q := range eq {
+		if q.Op != core.OpEqual {
+			t.Fatalf("EqualityOnly produced %v", q.Op)
+		}
+	}
+	ord := Queries(cfg, OrderOnly, 50)
+	for _, q := range ord {
+		if q.Op != core.OpLess && q.Op != core.OpGreater {
+			t.Fatalf("OrderOnly produced %v", q.Op)
+		}
+	}
+	mixed := Queries(cfg, Mixed, 200)
+	seen := map[core.Op]bool{}
+	for _, q := range mixed {
+		seen[q.Op] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Mixed produced only %d operator kinds", len(seen))
+	}
+}
+
+func TestAnswer(t *testing.T) {
+	db := []core.Record{
+		core.NewRecord(1, 5),
+		core.NewRecord(2, 10),
+		{ID: 3, Attrs: []core.AttrValue{{Name: "age", Value: 5}}},
+	}
+	if got := Answer(db, core.Equal(5)); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Equal(5) = %v (attribute isolation)", got)
+	}
+	if got := Answer(db, core.Less(10)); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Less(10) = %v", got)
+	}
+	if got := Answer(db, core.Greater(5)); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Greater(5) = %v", got)
+	}
+	if got := Answer(db, core.Query{Attr: "age", Op: core.OpEqual, Value: 5}); len(got) != 1 || got[0] != 3 {
+		t.Errorf("age=5 = %v", got)
+	}
+}

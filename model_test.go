@@ -1,0 +1,140 @@
+package slicer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refModel is a plaintext reference implementation of the twin scheme's
+// visible semantics: a map of live records.
+type refModel struct {
+	live    map[uint64]uint64 // id -> value
+	deleted map[uint64]uint64
+	nextID  uint64
+}
+
+func (m *refModel) answer(q Query) []uint64 {
+	var out []uint64
+	for id, v := range m.live {
+		switch q.Op {
+		case OpEqual:
+			if v == q.Value {
+				out = append(out, id)
+			}
+		case OpLess:
+			if v < q.Value {
+				out = append(out, id)
+			}
+		case OpGreater:
+			if v > q.Value {
+				out = append(out, id)
+			}
+		}
+	}
+	sortU64(out)
+	return out
+}
+
+// TestModelBasedSoak drives a long random sequence of inserts, deletes,
+// updates and verified searches against the twin scheme and cross-checks
+// every search result against the plaintext reference model. Every response
+// passes public verification inside TwinScheme.Search, so this doubles as a
+// soak test of the proof machinery across many epochs.
+func TestModelBasedSoak(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	const maxVal = 255
+
+	model := &refModel{live: map[uint64]uint64{}, deleted: map[uint64]uint64{}, nextID: 1}
+	var initial []Record
+	for i := 0; i < 30; i++ {
+		v := uint64(rng.Intn(maxVal + 1))
+		initial = append(initial, NewRecord(model.nextID, v))
+		model.live[model.nextID] = v
+		model.nextID++
+	}
+	s, err := NewTwinScheme(testParams(8), initial)
+	if err != nil {
+		t.Fatalf("NewTwinScheme: %v", err)
+	}
+
+	randomLiveID := func() (uint64, bool) {
+		if len(model.live) == 0 {
+			return 0, false
+		}
+		ids := make([]uint64, 0, len(model.live))
+		for id := range model.live {
+			ids = append(ids, id)
+		}
+		return ids[rng.Intn(len(ids))], true
+	}
+
+	const steps = 120
+	searches := 0
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3: // insert a small batch
+			n := rng.Intn(3) + 1
+			var batch []Record
+			for i := 0; i < n; i++ {
+				v := uint64(rng.Intn(maxVal + 1))
+				batch = append(batch, NewRecord(model.nextID, v))
+				model.live[model.nextID] = v
+				model.nextID++
+			}
+			if err := s.Insert(batch); err != nil {
+				t.Fatalf("step %d: Insert: %v", step, err)
+			}
+		case op == 3: // delete one live record
+			id, ok := randomLiveID()
+			if !ok {
+				continue
+			}
+			v := model.live[id]
+			if err := s.Delete([]Record{NewRecord(id, v)}); err != nil {
+				t.Fatalf("step %d: Delete(%d): %v", step, id, err)
+			}
+			delete(model.live, id)
+			model.deleted[id] = v
+		case op == 4: // update one live record
+			id, ok := randomLiveID()
+			if !ok {
+				continue
+			}
+			oldV := model.live[id]
+			newV := uint64(rng.Intn(maxVal + 1))
+			newID := model.nextID
+			model.nextID++
+			if err := s.Update(NewRecord(id, oldV), NewRecord(newID, newV)); err != nil {
+				t.Fatalf("step %d: Update(%d->%d): %v", step, id, newID, err)
+			}
+			delete(model.live, id)
+			model.deleted[id] = oldV
+			model.live[newID] = newV
+		default: // verified search
+			searches++
+			var q Query
+			switch rng.Intn(3) {
+			case 0:
+				q = Equal(uint64(rng.Intn(maxVal + 1)))
+			case 1:
+				q = Less(uint64(rng.Intn(maxVal) + 1))
+			default:
+				q = Greater(uint64(rng.Intn(maxVal)))
+			}
+			got, err := s.Search(q)
+			if err != nil {
+				t.Fatalf("step %d: Search(%v %d): %v", step, q.Op, q.Value, err)
+			}
+			want := model.answer(q)
+			if !equalU64(got, want) {
+				t.Fatalf("step %d: Search(%v %d) = %v, model says %v",
+					step, q.Op, q.Value, got, want)
+			}
+		}
+	}
+	if searches < steps/3 {
+		t.Fatalf("only %d searches in %d steps; op mix skewed", searches, steps)
+	}
+	t.Logf("soak: %d steps, %d searches, %d live, %d deleted records",
+		steps, searches, len(model.live), len(model.deleted))
+}

@@ -1,0 +1,132 @@
+package slicer
+
+import (
+	"testing"
+
+	"slicer/internal/workload"
+)
+
+func prefixParams(bits int) Params {
+	p := testParams(bits)
+	p.PrefixIndex = true
+	return p
+}
+
+func TestPrefixRangeSearchMatchesGroundTruth(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 150, Bits: 8, Seed: 41})
+	scheme, err := NewScheme(prefixParams(8), db)
+	if err != nil {
+		t.Fatalf("NewScheme: %v", err)
+	}
+	ranges := []struct{ lo, hi uint64 }{
+		{10, 200}, {0, 50}, {200, 255}, {0, 255}, {7, 7}, {0, 0}, {255, 255},
+		{127, 128}, {1, 254},
+	}
+	for _, r := range ranges {
+		got, err := scheme.RangeSearch("", r.lo, r.hi)
+		if err != nil {
+			t.Fatalf("RangeSearch(%d,%d): %v", r.lo, r.hi, err)
+		}
+		var want []uint64
+		for _, rec := range db {
+			v := rec.Attrs[0].Value
+			if v >= r.lo && v <= r.hi {
+				want = append(want, rec.ID)
+			}
+		}
+		sortU64(want)
+		if !equalU64(got, want) {
+			t.Fatalf("prefix RangeSearch(%d,%d): got %d ids, want %d", r.lo, r.hi, len(got), len(want))
+		}
+	}
+}
+
+func TestPrefixAndIntersectionModesAgree(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 100, Bits: 8, Seed: 42})
+	prefixScheme, err := NewScheme(prefixParams(8), db)
+	if err != nil {
+		t.Fatalf("NewScheme(prefix): %v", err)
+	}
+	plainScheme, err := NewScheme(testParams(8), db)
+	if err != nil {
+		t.Fatalf("NewScheme(plain): %v", err)
+	}
+	for _, r := range []struct{ lo, hi uint64 }{{20, 220}, {0, 127}, {128, 255}} {
+		a, err := prefixScheme.RangeSearch("", r.lo, r.hi)
+		if err != nil {
+			t.Fatalf("prefix mode: %v", err)
+		}
+		b, err := plainScheme.RangeSearch("", r.lo, r.hi)
+		if err != nil {
+			t.Fatalf("intersection mode: %v", err)
+		}
+		if !equalU64(a, b) {
+			t.Fatalf("[%d,%d]: modes disagree (%d vs %d ids)", r.lo, r.hi, len(a), len(b))
+		}
+	}
+}
+
+func TestPrefixRangeAfterInsert(t *testing.T) {
+	db := []Record{NewRecord(1, 100), NewRecord(2, 150)}
+	scheme, err := NewScheme(prefixParams(8), db)
+	if err != nil {
+		t.Fatalf("NewScheme: %v", err)
+	}
+	if err := scheme.Insert([]Record{NewRecord(3, 120), NewRecord(4, 10)}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	got, err := scheme.RangeSearch("", 90, 130)
+	if err != nil {
+		t.Fatalf("RangeSearch: %v", err)
+	}
+	if !equalU64(got, []uint64{1, 3}) {
+		t.Fatalf("RangeSearch(90,130) after insert = %v, want [1 3]", got)
+	}
+}
+
+func TestRangeTokensRequiresPrefixIndex(t *testing.T) {
+	scheme, err := NewScheme(testParams(8), []Record{NewRecord(1, 5)})
+	if err != nil {
+		t.Fatalf("NewScheme: %v", err)
+	}
+	if _, err := scheme.User().RangeTokens("", 0, 10); err == nil {
+		t.Error("RangeTokens worked without PrefixIndex")
+	}
+}
+
+// TestPrefixRangeTokenBudget checks the headline efficiency property: a
+// narrow range in a large domain takes at most 2(b-1) tokens and fetches
+// exactly the matching records (no over-fetch), unlike the intersection
+// strategy which fetches both one-sided result sets.
+func TestPrefixRangeTokenBudget(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 200, Bits: 16, Seed: 43})
+	scheme, err := NewScheme(prefixParams(16), db)
+	if err != nil {
+		t.Fatalf("NewScheme: %v", err)
+	}
+	lo, hi := uint64(1000), uint64(1255)
+	req, err := scheme.User().RangeTokens("", lo, hi)
+	if err != nil {
+		t.Fatalf("RangeTokens: %v", err)
+	}
+	if len(req.Tokens) > 2*15 {
+		t.Errorf("cover used %d tokens, bound is %d", len(req.Tokens), 2*15)
+	}
+	resp, err := scheme.Cloud().Search(req)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	fetched := 0
+	for _, res := range resp.Results {
+		fetched += len(res.ER)
+	}
+	matching := 0
+	for _, rec := range db {
+		if v := rec.Attrs[0].Value; v >= lo && v <= hi {
+			matching++
+		}
+	}
+	if fetched != matching {
+		t.Errorf("prefix mode fetched %d records for %d matches (should be exact)", fetched, matching)
+	}
+}

@@ -1,0 +1,340 @@
+// Package slicer is the public API of the Slicer library: verifiable,
+// secure and fair search over encrypted numerical data using a blockchain
+// (Wu, Song, Lei, Xiao — ICDCS 2022).
+//
+// Slicer lets a data owner outsource encrypted key-value records to an
+// untrusted cloud while authorized data users run equality and order
+// (range) queries whose results are publicly verifiable on a blockchain,
+// so that neither a cheating cloud nor a repudiating user can defraud the
+// other of the search fee.
+//
+// Two entry points are provided:
+//
+//   - Scheme wires owner, user and cloud in one process with local (off-
+//     chain) verification — the fastest way to use the encrypted search.
+//   - Deployment additionally runs a proof-of-authority blockchain with the
+//     Slicer smart contract, escrowing search payments and settling them by
+//     on-chain verification (the paper's full fairness story).
+//
+// See the examples directory for runnable end-to-end programs.
+package slicer
+
+import (
+	"fmt"
+
+	"slicer/internal/core"
+	"slicer/internal/store"
+)
+
+// Re-exported protocol types. The core package holds the implementations;
+// these aliases make the public surface self-contained.
+type (
+	// Record is an encrypted-search database record.
+	Record = core.Record
+	// AttrValue is one named numerical attribute of a record.
+	AttrValue = core.AttrValue
+	// Query is a search condition over one attribute.
+	Query = core.Query
+	// Op is a query operator.
+	Op = core.Op
+	// Params fixes a deployment's public parameters.
+	Params = core.Params
+	// SearchRequest is a token list produced by a data user.
+	SearchRequest = core.SearchRequest
+	// SearchResponse is a cloud's answer with verification objects.
+	SearchResponse = core.SearchResponse
+	// SearchToken is a single keyword token.
+	SearchToken = core.SearchToken
+	// TokenResult is the cloud's answer for one token.
+	TokenResult = core.TokenResult
+	// Owner is the data owner role.
+	Owner = core.Owner
+	// User is the data user role.
+	User = core.User
+	// Cloud is the search server role.
+	Cloud = core.Cloud
+	// WitnessMode selects the cloud's VO generation strategy.
+	WitnessMode = core.WitnessMode
+)
+
+// Query operators.
+const (
+	OpEqual   = core.OpEqual
+	OpLess    = core.OpLess
+	OpGreater = core.OpGreater
+)
+
+// Witness generation modes.
+const (
+	WitnessCached   = core.WitnessCached
+	WitnessOnDemand = core.WitnessOnDemand
+)
+
+// Re-exported constructors.
+var (
+	// NewRecord builds a single-attribute record.
+	NewRecord = core.NewRecord
+	// Equal / Less / Greater build single-attribute queries.
+	Equal   = core.Equal
+	Less    = core.Less
+	Greater = core.Greater
+	// DefaultParams returns the evaluation parameterization for a bit width.
+	DefaultParams = core.DefaultParams
+	// NewOwner / NewUser / NewCloud expose the individual roles for callers
+	// that deploy the parties on separate machines (see package wire).
+	NewOwner = core.NewOwner
+	NewUser  = core.NewUser
+	NewCloud = core.NewCloud
+)
+
+// Scheme is a single-process Slicer deployment: owner, one user and one
+// cloud, with verification performed locally by the same algorithm the
+// smart contract runs. Use Deployment for the on-chain fair-exchange flow.
+type Scheme struct {
+	owner *core.Owner
+	user  *core.User
+	cloud *core.Cloud
+}
+
+// NewScheme creates a deployment over an initial database.
+func NewScheme(params Params, db []Record) (*Scheme, error) {
+	owner, err := core.NewOwner(params)
+	if err != nil {
+		return nil, err
+	}
+	out, err := owner.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := core.NewCloud(owner.CloudInit(out.Index), core.WitnessCached)
+	if err != nil {
+		return nil, err
+	}
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{owner: owner, user: user, cloud: cloud}, nil
+}
+
+// Owner / User / Cloud expose the underlying roles.
+func (s *Scheme) Owner() *core.Owner { return s.owner }
+func (s *Scheme) User() *core.User   { return s.user }
+func (s *Scheme) Cloud() *core.Cloud { return s.cloud }
+
+// Verify publicly verifies a search response against the request it
+// answers, using the deployment's current accumulation value — the same
+// Algorithm 5 the smart contract meters. Callers composing their own
+// token/search flows (e.g. against a remote cloud) use this before
+// Decrypt.
+func (s *Scheme) Verify(req *SearchRequest, resp *SearchResponse) error {
+	return core.VerifyResponse(s.owner.AccumulatorPub(), s.owner.Ac(), req, resp)
+}
+
+// Insert adds records: the owner re-indexes, the cloud applies the delta
+// and the user receives the refreshed trapdoor states.
+func (s *Scheme) Insert(records []Record) error {
+	out, err := s.owner.Insert(records)
+	if err != nil {
+		return err
+	}
+	if err := s.cloud.ApplyUpdate(out); err != nil {
+		return err
+	}
+	s.user.UpdateStates(s.owner.StatesSnapshot())
+	return nil
+}
+
+// Search runs the full verified pipeline for one query: token generation,
+// cloud search, verification (Algorithm 5) against the owner's current Ac,
+// and decryption. It returns the matching record IDs.
+func (s *Scheme) Search(q Query) ([]uint64, error) {
+	req, err := s.user.Token(q)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.cloud.Search(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.VerifyResponse(s.owner.AccumulatorPub(), s.owner.Ac(), req, resp); err != nil {
+		return nil, err
+	}
+	return s.user.Decrypt(resp)
+}
+
+// RangeSearch returns the IDs of records whose attribute value lies in the
+// inclusive range [lo, hi]. It is an extension over the paper's one-sided
+// conditions. Two strategies are available:
+//
+//   - Default: both one-sided conditions are searched and verified
+//     independently and the intersection is taken client side, so
+//     completeness follows from the completeness of each side.
+//   - With Params.PrefixIndex: the range decomposes into its canonical
+//     prefix cover and resolves as exact keyword lookups — fewer fetched
+//     records, one verified result set per cover node.
+func (s *Scheme) RangeSearch(attr string, lo, hi uint64) ([]uint64, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("slicer: empty range [%d,%d]", lo, hi)
+	}
+	if s.owner.Params().PrefixIndex {
+		return s.prefixRangeSearch(attr, lo, hi)
+	}
+	bits := s.owner.Params().Bits
+	maxVal := uint64(1)<<uint(bits) - 1
+	if bits == 64 {
+		maxVal = ^uint64(0)
+	}
+	if hi > maxVal {
+		return nil, fmt.Errorf("slicer: range bound %d exceeds %d-bit values", hi, bits)
+	}
+
+	// a in [lo,hi]  <=>  a > lo-1  AND  a < hi+1, with saturated bounds
+	// handled by dropping the vacuous side.
+	var lower, upper []uint64
+	haveLower, haveUpper := lo > 0, hi < maxVal
+	var err error
+	if haveLower {
+		lower, err = s.Search(Query{Attr: attr, Op: OpGreater, Value: lo - 1})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if haveUpper {
+		upper, err = s.Search(Query{Attr: attr, Op: OpLess, Value: hi + 1})
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case haveLower && haveUpper:
+		return intersectSorted(lower, upper), nil
+	case haveLower:
+		return lower, nil
+	case haveUpper:
+		return upper, nil
+	default:
+		// The range covers the whole domain: equivalent to a < max with the
+		// equality at max unioned in.
+		below, err := s.Search(Query{Attr: attr, Op: OpLess, Value: maxVal})
+		if err != nil {
+			return nil, err
+		}
+		at, err := s.Search(Query{Attr: attr, Op: OpEqual, Value: maxVal})
+		if err != nil {
+			return nil, err
+		}
+		return unionSorted(below, at), nil
+	}
+}
+
+// prefixRangeSearch answers [lo, hi] through the prefix-cover index.
+func (s *Scheme) prefixRangeSearch(attr string, lo, hi uint64) ([]uint64, error) {
+	req, err := s.user.RangeTokens(attr, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.cloud.Search(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.VerifyResponse(s.owner.AccumulatorPub(), s.owner.Ac(), req, resp); err != nil {
+		return nil, err
+	}
+	return s.user.Decrypt(resp)
+}
+
+// Condition is one attribute condition of a conjunctive search.
+type Condition struct {
+	Attr string
+	// Lo and Hi bound the attribute inclusively. Use Lo==0 / Hi==MaxValue
+	// for one-sided conditions.
+	Lo, Hi uint64
+}
+
+// MaxValue returns the largest representable value of the deployment.
+func (s *Scheme) MaxValue() uint64 {
+	bits := s.owner.Params().Bits
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(bits) - 1
+}
+
+// ConjunctiveSearch returns the IDs of records satisfying every condition
+// (an AND across attributes — e.g. age in [30,60] AND heart_rate > 100).
+// Each condition is answered and verified independently; the intersection
+// happens client side, so the result inherits each side's completeness.
+// This extends the paper's multi-attribute extension (§V-F) with
+// multi-condition queries.
+func (s *Scheme) ConjunctiveSearch(conds []Condition) ([]uint64, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("slicer: conjunctive search needs at least one condition")
+	}
+	var acc []uint64
+	for i, c := range conds {
+		ids, err := s.RangeSearch(c.Attr, c.Lo, c.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("condition %d (%s in [%d,%d]): %w", i, c.Attr, c.Lo, c.Hi, err)
+		}
+		if i == 0 {
+			acc = ids
+		} else {
+			acc = intersectSorted(acc, ids)
+		}
+		if len(acc) == 0 {
+			return nil, nil
+		}
+	}
+	return acc, nil
+}
+
+// StatesLen reports how many keywords the deployment tracks (diagnostics).
+func (s *Scheme) StatesLen() int { return statesLen(s.owner.StatesSnapshot()) }
+
+func statesLen(t *store.TrapdoorStates) int { return t.Len() }
+
+func intersectSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func unionSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

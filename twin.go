@@ -1,0 +1,97 @@
+package slicer
+
+import (
+	"slicer/internal/core"
+)
+
+// TwinScheme is a single-process deployment of the deletion/update
+// extension (paper §V-F): an insert instance and a delete instance run side
+// by side, a query's effective result is the set difference, and both
+// halves of every response are publicly verifiable.
+type TwinScheme struct {
+	owner *core.TwinOwner
+	user  *core.TwinUser
+	cloud *core.TwinCloud
+}
+
+// NewTwinScheme creates a twin deployment over an initial database.
+func NewTwinScheme(params Params, db []Record) (*TwinScheme, error) {
+	owner, err := core.NewTwinOwner(params)
+	if err != nil {
+		return nil, err
+	}
+	built, err := owner.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := core.NewTwinCloud(
+		owner.Add.CloudInit(built.Add.Index),
+		owner.Del.CloudInit(built.Del.Index),
+		core.WitnessCached,
+	)
+	if err != nil {
+		return nil, err
+	}
+	user, err := core.NewTwinUser(owner.ClientState())
+	if err != nil {
+		return nil, err
+	}
+	return &TwinScheme{owner: owner, user: user, cloud: cloud}, nil
+}
+
+func (s *TwinScheme) sync(up *core.TwinUpdate) error {
+	if err := s.cloud.ApplyUpdate(up); err != nil {
+		return err
+	}
+	s.user.Add.UpdateStates(s.owner.Add.StatesSnapshot())
+	s.user.Del.UpdateStates(s.owner.Del.StatesSnapshot())
+	return nil
+}
+
+// Insert adds new records.
+func (s *TwinScheme) Insert(records []Record) error {
+	up, err := s.owner.Insert(records)
+	if err != nil {
+		return err
+	}
+	return s.sync(up)
+}
+
+// Delete removes previously inserted records. Each record must carry the
+// exact attribute values it was inserted with so its keywords cancel.
+func (s *TwinScheme) Delete(records []Record) error {
+	up, err := s.owner.Delete(records)
+	if err != nil {
+		return err
+	}
+	return s.sync(up)
+}
+
+// Update replaces a record (one deletion plus one insertion under a fresh
+// record ID — IDs are single-use in the scheme).
+func (s *TwinScheme) Update(old, newRecord Record) error {
+	up, err := s.owner.Update(old, newRecord)
+	if err != nil {
+		return err
+	}
+	return s.sync(up)
+}
+
+// Search runs a verified query against both instances and returns the IDs
+// of live (inserted and not deleted) matching records.
+func (s *TwinScheme) Search(q Query) ([]uint64, error) {
+	req, err := s.user.Token(q)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.cloud.Search(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.VerifyTwinResponse(
+		s.owner.Add.AccumulatorPub(), s.owner.Del.AccumulatorPub(),
+		s.owner.Add.Ac(), s.owner.Del.Ac(), req, resp); err != nil {
+		return nil, err
+	}
+	return s.user.Decrypt(resp)
+}

@@ -1,0 +1,265 @@
+package slicer
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"slicer/internal/chain"
+	"slicer/internal/contract"
+	"slicer/internal/core"
+)
+
+// TwinDeployment combines the deletion/update extension with the on-chain
+// fair-exchange flow: one blockchain network hosts two Slicer contract
+// instances (one per twin instance), each committing its own accumulator
+// digest. A verified search escrows a fee per instance and both halves are
+// verified on chain; the effective result is the set difference of the two
+// settled halves.
+type TwinDeployment struct {
+	owner *core.TwinOwner
+	user  *core.TwinUser
+	cloud *core.TwinCloud
+
+	network    *chain.Network
+	addrs      [2]Address // contract addresses: [0]=insert instance, [1]=delete instance
+	validators []Address
+
+	OwnerAddr Address
+	UserAddr  Address
+	CloudAddr Address
+}
+
+// TwinOutcome reports a twin fair-exchange search.
+type TwinOutcome struct {
+	IDs     []uint64 // nil unless both halves settled
+	Settled bool
+	GasUsed uint64 // total verification gas across both instances
+}
+
+// NewTwinDeployment boots the chain, deploys both contract instances and
+// builds the twin scheme.
+func NewTwinDeployment(cfg DeploymentConfig, db []Record) (*TwinDeployment, error) {
+	owner, err := core.NewTwinOwner(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	built, err := owner.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := core.NewTwinCloud(
+		owner.Add.CloudInit(built.Add.Index),
+		owner.Del.CloudInit(built.Del.Index),
+		core.WitnessCached,
+	)
+	if err != nil {
+		return nil, err
+	}
+	user, err := core.NewTwinUser(owner.ClientState())
+	if err != nil {
+		return nil, err
+	}
+
+	d := &TwinDeployment{
+		owner:     owner,
+		user:      user,
+		cloud:     cloud,
+		OwnerAddr: chain.AddressFromString("twin-owner"),
+		UserAddr:  chain.AddressFromString("twin-user"),
+		CloudAddr: chain.AddressFromString("twin-cloud"),
+	}
+	registry := chain.NewRegistry()
+	if err := contract.Register(registry); err != nil {
+		return nil, err
+	}
+	names := cfg.Validators
+	if len(names) == 0 {
+		names = []string{"validator-0", "validator-1", "validator-2"}
+	}
+	d.validators = make([]Address, len(names))
+	for i, n := range names {
+		d.validators[i] = chain.AddressFromString(n)
+	}
+	balance := cfg.InitialBalance
+	if balance == 0 {
+		balance = 1_000_000_000_000
+	}
+	d.network, err = chain.NewNetwork(registry, d.validators, map[Address]uint64{
+		d.OwnerAddr: balance, d.UserAddr: balance, d.CloudAddr: balance,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, inst := range d.owners() {
+		tx := contract.DeployTx(d.OwnerAddr, d.nonce(d.OwnerAddr),
+			inst.AccumulatorPub().Marshal(), inst.Ac(), 10_000_000)
+		r, err := d.mine(tx)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Status {
+			return nil, fmt.Errorf("slicer: twin contract %d deployment reverted: %s", i, r.Err)
+		}
+		d.addrs[i] = r.ContractAddress
+	}
+	return d, nil
+}
+
+func (d *TwinDeployment) owners() [2]*core.Owner {
+	return [2]*core.Owner{d.owner.Add, d.owner.Del}
+}
+
+// Balance reads an account balance.
+func (d *TwinDeployment) Balance(a Address) uint64 { return d.network.Leader().Balance(a) }
+
+func (d *TwinDeployment) mine(tx *chain.Transaction) (*Receipt, error) {
+	if err := d.network.SubmitTx(tx); err != nil {
+		return nil, err
+	}
+	if _, err := d.network.Step(); err != nil {
+		return nil, err
+	}
+	r, ok := d.network.Leader().Receipt(tx.Hash())
+	if !ok {
+		return nil, fmt.Errorf("slicer: receipt missing")
+	}
+	return r, nil
+}
+
+func (d *TwinDeployment) nonce(a Address) uint64 {
+	return d.network.Leader().NextNonce(a)
+}
+
+// refreshDigests posts both instances' current digests after a mutation.
+func (d *TwinDeployment) refreshDigests() error {
+	for i, inst := range d.owners() {
+		r, err := d.mine(&chain.Transaction{
+			From: d.OwnerAddr, To: d.addrs[i], Nonce: d.nonce(d.OwnerAddr),
+			GasLimit: 1_000_000, Data: contract.SetAcData(inst.Ac()),
+		})
+		if err != nil {
+			return err
+		}
+		if !r.Status {
+			return fmt.Errorf("slicer: twin SetAc %d reverted: %s", i, r.Err)
+		}
+	}
+	return nil
+}
+
+func (d *TwinDeployment) applyAndRefresh(up *core.TwinUpdate) error {
+	if err := d.cloud.ApplyUpdate(up); err != nil {
+		return err
+	}
+	d.user.Add.UpdateStates(d.owner.Add.StatesSnapshot())
+	d.user.Del.UpdateStates(d.owner.Del.StatesSnapshot())
+	return d.refreshDigests()
+}
+
+// Insert adds new records and refreshes the on-chain digests.
+func (d *TwinDeployment) Insert(records []Record) error {
+	up, err := d.owner.Insert(records)
+	if err != nil {
+		return err
+	}
+	return d.applyAndRefresh(up)
+}
+
+// Delete removes records (with their exact original attribute values).
+func (d *TwinDeployment) Delete(records []Record) error {
+	up, err := d.owner.Delete(records)
+	if err != nil {
+		return err
+	}
+	return d.applyAndRefresh(up)
+}
+
+// Update replaces a record under a fresh ID.
+func (d *TwinDeployment) Update(old, newRecord Record) error {
+	up, err := d.owner.Update(old, newRecord)
+	if err != nil {
+		return err
+	}
+	return d.applyAndRefresh(up)
+}
+
+// VerifiedSearch runs the fair-exchange flow against both instances. The
+// fee is escrowed per instance (half each, minimum 1); the outcome settles
+// only if both halves verify. Fairness is per instance: a cloud that cheats
+// on either half forfeits that half's fee.
+func (d *TwinDeployment) VerifiedSearch(q Query, fee uint64) (*TwinOutcome, error) {
+	if fee < 2 {
+		return nil, fmt.Errorf("slicer: twin search fee must be at least 2")
+	}
+	req, err := d.user.Token(q)
+	if err != nil {
+		return nil, err
+	}
+	halves := [2]*core.SearchRequest{req.Add, req.Del}
+	resp := &core.TwinResponse{}
+	outcome := &TwinOutcome{Settled: true}
+
+	for i := range halves {
+		inst := d.owners()[i]
+		// The delete instance may legitimately have no matching slices.
+		tokens := halves[i].Tokens
+		th, err := contract.TokensHash(tokens)
+		if err != nil {
+			return nil, err
+		}
+		var reqID TxHash
+		if _, err := rand.Read(reqID[:]); err != nil {
+			return nil, err
+		}
+		r, err := d.mine(&chain.Transaction{
+			From: d.UserAddr, To: d.addrs[i], Nonce: d.nonce(d.UserAddr),
+			Value: fee / 2, GasLimit: 1_000_000,
+			Data: contract.RequestData(reqID, d.CloudAddr, th),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !r.Status {
+			return nil, fmt.Errorf("slicer: twin escrow %d reverted: %s", i, r.Err)
+		}
+
+		var half *core.SearchResponse
+		if i == 0 {
+			half, err = d.cloud.Add.Search(halves[i])
+			resp.Add = half
+		} else {
+			half, err = d.cloud.Del.Search(halves[i])
+			resp.Del = half
+		}
+		if err != nil {
+			return nil, err
+		}
+		data, err := contract.SubmitData(reqID, inst.AccumulatorPub().Marshal(), inst.Ac(), half.Results)
+		if err != nil {
+			return nil, err
+		}
+		r, err = d.mine(&chain.Transaction{
+			From: d.CloudAddr, To: d.addrs[i], Nonce: d.nonce(d.CloudAddr),
+			GasLimit: 50_000_000, Data: data,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !r.Status {
+			return nil, fmt.Errorf("slicer: twin submission %d reverted: %s", i, r.Err)
+		}
+		outcome.GasUsed += r.GasUsed
+		if len(r.ReturnData) != 1 || r.ReturnData[0] != 1 {
+			outcome.Settled = false
+		}
+	}
+	if outcome.Settled {
+		ids, err := d.user.Decrypt(resp)
+		if err != nil {
+			return nil, err
+		}
+		outcome.IDs = ids
+	}
+	return outcome, nil
+}

@@ -1,0 +1,69 @@
+package slicer
+
+import (
+	"testing"
+)
+
+func TestTwinDeploymentFairExchange(t *testing.T) {
+	db := []Record{
+		NewRecord(1, 10), NewRecord(2, 20), NewRecord(3, 10), NewRecord(4, 90),
+	}
+	d, err := NewTwinDeployment(DeploymentConfig{Params: testParams(8)}, db)
+	if err != nil {
+		t.Fatalf("NewTwinDeployment: %v", err)
+	}
+	const fee = 1000
+	cloudStart := d.Balance(d.CloudAddr)
+
+	out, err := d.VerifiedSearch(Equal(10), fee)
+	if err != nil {
+		t.Fatalf("VerifiedSearch: %v", err)
+	}
+	if !out.Settled || !equalU64(out.IDs, []uint64{1, 3}) {
+		t.Fatalf("outcome = %+v, want settled [1 3]", out)
+	}
+	if got := d.Balance(d.CloudAddr); got != cloudStart+2*(fee/2) {
+		t.Errorf("cloud balance %d, want %d", got, cloudStart+2*(fee/2))
+	}
+
+	// Delete on chain, then search again: the deleted record disappears
+	// and both halves still verify.
+	if err := d.Delete([]Record{NewRecord(1, 10)}); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	out, err = d.VerifiedSearch(Equal(10), fee)
+	if err != nil {
+		t.Fatalf("VerifiedSearch after delete: %v", err)
+	}
+	if !out.Settled || !equalU64(out.IDs, []uint64{3}) {
+		t.Fatalf("post-delete outcome = %+v, want settled [3]", out)
+	}
+
+	// Update on chain.
+	if err := d.Update(NewRecord(2, 20), NewRecord(5, 11)); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	out, err = d.VerifiedSearch(Less(15), fee)
+	if err != nil {
+		t.Fatalf("VerifiedSearch after update: %v", err)
+	}
+	if !out.Settled || !equalU64(out.IDs, []uint64{3, 5}) {
+		t.Fatalf("post-update outcome = %+v, want settled [3 5]", out)
+	}
+
+	// Insert on chain.
+	if err := d.Insert([]Record{NewRecord(6, 10)}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	out, err = d.VerifiedSearch(Equal(10), fee)
+	if err != nil {
+		t.Fatalf("VerifiedSearch after insert: %v", err)
+	}
+	if !out.Settled || !equalU64(out.IDs, []uint64{3, 6}) {
+		t.Fatalf("post-insert outcome = %+v, want settled [3 6]", out)
+	}
+
+	if _, err := d.VerifiedSearch(Equal(10), 1); err == nil {
+		t.Error("sub-minimum fee accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package slicer
+
+import (
+	"testing"
+
+	"slicer/internal/workload"
+)
+
+func TestTwinSchemeLifecycle(t *testing.T) {
+	db := []Record{
+		NewRecord(1, 10), NewRecord(2, 20), NewRecord(3, 10), NewRecord(4, 90),
+	}
+	s, err := NewTwinScheme(testParams(8), db)
+	if err != nil {
+		t.Fatalf("NewTwinScheme: %v", err)
+	}
+
+	got, err := s.Search(Equal(10))
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if !equalU64(got, []uint64{1, 3}) {
+		t.Fatalf("Equal(10) = %v, want [1 3]", got)
+	}
+
+	if err := s.Delete([]Record{NewRecord(1, 10)}); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	got, err = s.Search(Equal(10))
+	if err != nil {
+		t.Fatalf("Search after delete: %v", err)
+	}
+	if !equalU64(got, []uint64{3}) {
+		t.Fatalf("Equal(10) after delete = %v, want [3]", got)
+	}
+
+	if err := s.Insert([]Record{NewRecord(5, 10), NewRecord(6, 33)}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	got, err = s.Search(Less(30))
+	if err != nil {
+		t.Fatalf("Search after insert: %v", err)
+	}
+	if !equalU64(got, []uint64{2, 3, 5}) {
+		t.Fatalf("Less(30) = %v, want [2 3 5]", got)
+	}
+
+	// Update: record 4 (90) becomes 25 under fresh ID 7.
+	if err := s.Update(NewRecord(4, 90), NewRecord(7, 25)); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	got, err = s.Search(Less(30))
+	if err != nil {
+		t.Fatalf("Search after update: %v", err)
+	}
+	if !equalU64(got, []uint64{2, 3, 5, 7}) {
+		t.Fatalf("Less(30) after update = %v, want [2 3 5 7]", got)
+	}
+	got, err = s.Search(Equal(90))
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Equal(90) after update = %v, want empty", got)
+	}
+
+	// Guard rails.
+	if err := s.Delete([]Record{NewRecord(1, 10)}); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := s.Update(NewRecord(2, 20), NewRecord(2, 21)); err == nil {
+		t.Error("update reusing the same ID accepted")
+	}
+}
+
+func TestTwinSchemeRandomized(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 60, Bits: 8, Seed: 31})
+	s, err := NewTwinScheme(testParams(8), db)
+	if err != nil {
+		t.Fatalf("NewTwinScheme: %v", err)
+	}
+	// Delete every third record, then check several queries against the
+	// plaintext ground truth over the live set.
+	var deleted []Record
+	live := make([]Record, 0, len(db))
+	for i, rec := range db {
+		if i%3 == 0 {
+			deleted = append(deleted, rec)
+		} else {
+			live = append(live, rec)
+		}
+	}
+	if err := s.Delete(deleted); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	for _, q := range []Query{Equal(db[1].Attrs[0].Value), Less(100), Greater(200), Less(256 - 1)} {
+		got, err := s.Search(q)
+		if err != nil {
+			t.Fatalf("Search(%v %d): %v", q.Op, q.Value, err)
+		}
+		want := workload.Answer(live, q)
+		sortU64(want)
+		if !equalU64(got, want) {
+			t.Fatalf("Search(%v %d) = %d ids, want %d", q.Op, q.Value, len(got), len(want))
+		}
+	}
+}

@@ -229,6 +229,75 @@ func BenchmarkVOOrder(b *testing.B) {
 	})
 }
 
+// BenchmarkSearchParallel is the serial-vs-parallel pipeline ablation: one
+// full Algorithm-4 search (results + VO) at growing worker counts. Order
+// queries fan their b independent tokens across the pool and scale with
+// cores; equality queries carry a single token and pin the fan-out overhead
+// floor. Responses are byte-identical at every worker count (see
+// TestParallelSearchDeterminism), so the sub-benchmarks isolate pure
+// scheduling. On a single-core host the ratios collapse to ~1x — the
+// per-token modexp work only spreads when GOMAXPROCS > 1.
+func BenchmarkSearchParallel(b *testing.B) {
+	env := getEnv(b, 16)
+	defer func() {
+		if err := env.cloud.SetSearchWorkers(0); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	queries := []struct {
+		name string
+		q    core.Query
+	}{
+		{"order", core.Less((uint64(1)<<16 - 1) / 3 * 2)},
+		{"equality", core.Equal(env.db[0].Attrs[0].Value)},
+	}
+	for _, qc := range queries {
+		req, err := env.user.Token(qc.q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", qc.name, workers), func(b *testing.B) {
+				if err := env.cloud.SetSearchWorkers(workers); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(req.Tokens)), "tokens")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := env.cloud.Search(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkVerificationParallel is the verifier-side half of the parallel
+// ablation: Algorithm 5 over a multi-token order response at growing worker
+// counts.
+func BenchmarkVerificationParallel(b *testing.B) {
+	env := getEnv(b, 16)
+	req, err := env.user.Token(core.Less((uint64(1)<<16 - 1) / 3 * 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := env.cloud.Search(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp, ac := env.owner.AccumulatorPub(), env.owner.Ac()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := core.VerifyResponseWorkers(pp, ac, req, resp, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkInsertIndex / BenchmarkInsertADS regenerate Fig. 7: the index
 // and ADS phases of a 100-record insert into a preloaded database.
 func BenchmarkInsertIndex(b *testing.B) { benchInsert(b, false) }

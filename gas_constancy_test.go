@@ -7,9 +7,11 @@ import (
 )
 
 // TestInsertionGasConstant pins the paper's headline gas property (Table
-// II): the data-insertion transaction costs exactly the same regardless of
-// how many records the batch carries, because only a 32-byte digest of Ac
-// reaches the chain.
+// II): the data-insertion transaction costs the same regardless of how many
+// records the batch carries, because only a 32-byte digest of Ac reaches
+// the chain. The only permitted variation is calldata byte pricing: EIP-2028
+// charges zero bytes 4 gas and nonzero bytes 16, so a digest that happens to
+// contain zero bytes costs up to 32*12 gas less — independent of batch size.
 func TestInsertionGasConstant(t *testing.T) {
 	db := workload.Generate(workload.Config{N: 50, Bits: 8, Seed: 61})
 	d, err := NewDeployment(DeploymentConfig{Params: testParams(8)}, db)
@@ -33,10 +35,20 @@ func TestInsertionGasConstant(t *testing.T) {
 		}
 		gases = append(gases, r.GasUsed)
 	}
-	for i := 1; i < len(gases); i++ {
-		if gases[i] != gases[0] {
-			t.Fatalf("insertion gas varies with batch size: %v", gases)
+	lo, hi := gases[0], gases[0]
+	for _, g := range gases[1:] {
+		if g < lo {
+			lo = g
 		}
+		if g > hi {
+			hi = g
+		}
+	}
+	// 32 digest bytes * (16 - 4) gas: the worst-case all-zero vs no-zero
+	// digest spread. Any batch-size dependence would exceed this immediately
+	// (one extra record's calldata alone costs more).
+	if hi-lo > 32*12 {
+		t.Fatalf("insertion gas varies with batch size: %v", gases)
 	}
 }
 

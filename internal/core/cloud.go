@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/big"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"slicer/internal/accumulator"
 	"slicer/internal/mhash"
@@ -32,7 +34,14 @@ const (
 // Cloud is the untrusted search server. It stores the encrypted index I,
 // the prime list X, the accumulator public parameters and the trapdoor
 // public key; it executes Algorithm 4 (search + VO generation).
+//
+// A Cloud is safe for concurrent use: Search, SearchResults,
+// AttachWitnesses, Marshal and the stats accessors take a read lock, so any
+// number of users can query simultaneously; ApplyUpdate takes the write
+// lock and observes a quiescent index. Within one request, per-token work
+// additionally fans out across a bounded worker pool (SearchWorkers).
 type Cloud struct {
+	mu     sync.RWMutex
 	params Params
 	accPub *accumulator.PublicParams
 	tpk    *trapdoor.PublicKey
@@ -43,6 +52,9 @@ type Cloud struct {
 	witnesses map[string]*big.Int // prime bytes -> cached witness
 	ac        *big.Int
 	mode      WitnessMode
+	workers   int // per-request token fan-out; 0 = GOMAXPROCS, 1 = serial
+
+	searchCalls atomic.Uint64 // Search invocations, for round-trip accounting
 }
 
 // NewCloud initializes a cloud from the owner's CloudState package.
@@ -61,6 +73,7 @@ func NewCloud(st *CloudState, mode WitnessMode) (*Cloud, error) {
 		primeSet: make(map[string]int),
 		ac:       new(big.Int).Set(st.Ac),
 		mode:     mode,
+		workers:  st.Params.SearchWorkers,
 	}
 	if st.Index != nil {
 		if err := c.index.Merge(st.Index); err != nil {
@@ -74,16 +87,53 @@ func NewCloud(st *CloudState, mode WitnessMode) (*Cloud, error) {
 	return c, nil
 }
 
+// SetSearchWorkers retunes the per-request token fan-out at runtime: 0 uses
+// one worker per available core, 1 reproduces the serial pipeline exactly.
+// Responses are byte-identical at every setting.
+func (c *Cloud) SetSearchWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: search workers must be >= 0, got %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers = n
+	return nil
+}
+
+// SearchWorkers reports the configured fan-out (0 = one per core).
+func (c *Cloud) SearchWorkers() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.workers
+}
+
+// SearchCalls reports how many Search requests the cloud has served — one
+// per round trip in a remote deployment. Tests and the evaluation harness
+// use it to assert round-trip counts.
+func (c *Cloud) SearchCalls() uint64 { return c.searchCalls.Load() }
+
+// Ac returns a copy of the cloud's current accumulation value (the same
+// public digest the owner posts on chain).
+func (c *Cloud) Ac() *big.Int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return new(big.Int).Set(c.ac)
+}
+
 // ApplyUpdate merges an UpdateOutput delta shipped by the owner after an
-// Insert: new index entries, new primes and the new accumulation value.
+// Insert: new index entries, new primes and the new accumulation value. It
+// takes the cloud's write lock, so in-flight searches drain first and later
+// ones observe the full delta.
 //
 // Cached witnesses are maintained by whichever strategy is cheaper for the
-// batch: incremental refresh costs O(|X|·|X⁺|) exponentiations (each
-// existing witness raised to every new prime, plus pairwise work for the
-// new primes), while a full RootFactor rebuild costs O(N log N) for
+// batch: incremental refresh costs one modular exponentiation per existing
+// witness (the new primes are multiplied into a single exponent first) plus
+// one per new prime, while a full RootFactor rebuild costs O(N log N) for
 // N = |X|+|X⁺|. Small trickle inserts refresh incrementally; bulk inserts
 // rebuild.
 func (c *Cloud) ApplyUpdate(out *UpdateOutput) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := c.index.Merge(out.Index); err != nil {
 		return fmt.Errorf("apply index delta: %w", err)
 	}
@@ -91,14 +141,16 @@ func (c *Cloud) ApplyUpdate(out *UpdateOutput) error {
 	total := len(c.primes) + added
 	rebuild := c.mode == WitnessCached && added > log2ceil(total)+1
 
-	if c.mode == WitnessCached && !rebuild {
-		// Update existing witnesses before registering the new primes.
+	if c.mode == WitnessCached && !rebuild && added > 0 {
+		// Batch the refresh exponent: w' = w^(Π x⁺) needs ONE modexp per
+		// cached witness instead of |X⁺| — same total exponent bits, but the
+		// per-call setup (window table, Montgomery transform) is paid once.
+		prod := new(big.Int).SetInt64(1)
+		for _, x := range out.Primes {
+			prod.Mul(prod, x)
+		}
 		for key, w := range c.witnesses {
-			nw := new(big.Int).Set(w)
-			for _, x := range out.Primes {
-				nw.Exp(nw, x, c.accPub.N)
-			}
-			c.witnesses[key] = nw
+			c.witnesses[key] = new(big.Int).Exp(w, prod, c.accPub.N)
 		}
 	}
 	start := len(c.primes)
@@ -106,16 +158,18 @@ func (c *Cloud) ApplyUpdate(out *UpdateOutput) error {
 	switch {
 	case rebuild:
 		c.rebuildWitnesses()
-	case c.mode == WitnessCached:
-		// Witness for each new prime: old Ac raised to the other new primes.
+	case c.mode == WitnessCached && added > 0:
+		// Witness for new prime x_i: old Ac raised to Π_{k≠i} x⁺_k. The
+		// exponent is the batch product divided exactly by x_i — one modexp
+		// per new prime instead of an O(|X⁺|²) pairwise loop.
+		prod := new(big.Int).SetInt64(1)
+		for k := start; k < len(c.primes); k++ {
+			prod.Mul(prod, c.primes[k])
+		}
+		exp := new(big.Int)
 		for i := start; i < len(c.primes); i++ {
-			w := new(big.Int).Set(c.ac)
-			for k := start; k < len(c.primes); k++ {
-				if k == i {
-					continue
-				}
-				w.Exp(w, c.primes[k], c.accPub.N)
-			}
+			exp.Div(prod, c.primes[i])
+			w := new(big.Int).Exp(c.ac, exp, c.accPub.N)
 			c.witnesses[string(c.primes[i].Bytes())] = w
 		}
 	}
@@ -149,16 +203,30 @@ func (c *Cloud) rebuildWitnesses() {
 }
 
 // IndexLen reports the number of stored index entries.
-func (c *Cloud) IndexLen() int { return c.index.Len() }
+func (c *Cloud) IndexLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.index.Len()
+}
 
 // IndexSizeBytes reports the index storage footprint (Fig. 4a).
-func (c *Cloud) IndexSizeBytes() int { return c.index.SizeBytes() }
+func (c *Cloud) IndexSizeBytes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.index.SizeBytes()
+}
 
 // PrimeCount reports |X|.
-func (c *Cloud) PrimeCount() int { return len(c.primes) }
+func (c *Cloud) PrimeCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.primes)
+}
 
 // ADSSizeBytes reports the storage footprint of the prime list X (Fig. 4b).
 func (c *Cloud) ADSSizeBytes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	total := 0
 	for _, p := range c.primes {
 		total += (p.BitLen() + 7) / 8
@@ -166,47 +234,75 @@ func (c *Cloud) ADSSizeBytes() int {
 	return total
 }
 
+// tokenWorkers resolves the fan-out for an n-token request. Must be called
+// with the lock held (read or write).
+func (c *Cloud) tokenWorkers(n int) int {
+	w := effectiveWorkers(c.workers)
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // Search runs Algorithm 4 for every token in the request: walk the trapdoor
 // chain from the newest epoch backwards (via π_pk), drain each epoch's
 // counter sequence from the index, then build the verification object.
+// Tokens are independent keyword searches (one per SORE slice), so they fan
+// out across the worker pool; results keep the request's token order and a
+// failing request reports the first (lowest-index) token error.
 func (c *Cloud) Search(req *SearchRequest) (*SearchResponse, error) {
-	resp := &SearchResponse{Results: make([]TokenResult, 0, len(req.Tokens))}
-	for _, tok := range req.Tokens {
-		res, err := c.searchToken(tok)
+	c.searchCalls.Add(1)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	results := make([]TokenResult, len(req.Tokens))
+	err := forEachIndexed(len(req.Tokens), c.tokenWorkers(len(req.Tokens)), func(i int) error {
+		res, err := c.searchToken(req.Tokens[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		resp.Results = append(resp.Results, res)
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return resp, nil
+	return &SearchResponse{Results: results}, nil
 }
 
 // SearchResults runs only the result-generation half of Algorithm 4 (lines
 // 2–7), without VO generation. The evaluation harness uses it to separate
 // result-generation time (Fig. 5a/5c) from VO-generation time (Fig. 5b/5d).
 func (c *Cloud) SearchResults(req *SearchRequest) (*SearchResponse, error) {
-	resp := &SearchResponse{Results: make([]TokenResult, 0, len(req.Tokens))}
-	for _, tok := range req.Tokens {
-		er, err := c.collectResults(tok)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	results := make([]TokenResult, len(req.Tokens))
+	err := forEachIndexed(len(req.Tokens), c.tokenWorkers(len(req.Tokens)), func(i int) error {
+		er, err := c.collectResults(req.Tokens[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		resp.Results = append(resp.Results, TokenResult{Token: tok, ER: er})
+		results[i] = TokenResult{Token: req.Tokens[i], ER: er}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return resp, nil
+	return &SearchResponse{Results: results}, nil
 }
 
 // AttachWitnesses fills in the verification objects for a response produced
-// by SearchResults.
+// by SearchResults, one token at a time across the worker pool.
 func (c *Cloud) AttachWitnesses(resp *SearchResponse) error {
-	for i := range resp.Results {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return forEachIndexed(len(resp.Results), c.tokenWorkers(len(resp.Results)), func(i int) error {
 		vo, err := c.witnessFor(resp.Results[i].Token, resp.Results[i].ER)
 		if err != nil {
 			return err
 		}
 		resp.Results[i].Witness = vo
-	}
-	return nil
+		return nil
+	})
 }
 
 func (c *Cloud) searchToken(tok SearchToken) (TokenResult, error) {
@@ -221,8 +317,14 @@ func (c *Cloud) searchToken(tok SearchToken) (TokenResult, error) {
 	return TokenResult{Token: tok, ER: er, Witness: vo}, nil
 }
 
+// resultChunk is how many unmasked entries share one backing allocation in
+// collectResults.
+const resultChunk = 64
+
 // collectResults walks epochs j..0 of one keyword's trapdoor chain and
-// unmasks every stored handle.
+// unmasks every stored handle. The label/mask PRF states and the result
+// backing storage are allocated once per call and reused across entries
+// (large result sets previously paid three heap allocations per entry).
 func (c *Cloud) collectResults(tok SearchToken) ([][]byte, error) {
 	lk, err := prf.KeyFromBytes(tok.G1)
 	if err != nil {
@@ -232,11 +334,14 @@ func (c *Cloud) collectResults(tok SearchToken) ([][]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("token G2: %w", err)
 	}
+	labelEval := lk.NewEvaluator()
+	maskEval := dk.NewEvaluator()
 	var er [][]byte
+	var chunk []byte
 	t := tok.Trapdoor
 	for i := tok.Epoch; i >= 0; i-- {
 		for cctr := uint64(0); ; cctr++ {
-			l, err := store.LabelFromBytes(lk.EvalWithCounter(t, cctr))
+			l, err := store.LabelFromBytes(labelEval.EvalWithCounter(t, cctr))
 			if err != nil {
 				return nil, err
 			}
@@ -244,8 +349,12 @@ func (c *Cloud) collectResults(tok SearchToken) ([][]byte, error) {
 			if !ok {
 				break
 			}
-			mask := dk.EvalWithCounter(t, cctr)
-			r := make([]byte, store.EntrySize)
+			mask := maskEval.EvalWithCounter(t, cctr)
+			if len(chunk) < store.EntrySize {
+				chunk = make([]byte, resultChunk*store.EntrySize)
+			}
+			r := chunk[:store.EntrySize:store.EntrySize]
+			chunk = chunk[store.EntrySize:]
 			for b := range r {
 				r[b] = mask[b] ^ d[b]
 			}

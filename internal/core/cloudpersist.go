@@ -26,8 +26,11 @@ type cloudState struct {
 	Witnesses [][]byte `json:"witnesses,omitempty"` // parallel to Primes in cached mode
 }
 
-// Marshal serializes the cloud's complete state.
+// Marshal serializes the cloud's complete state. It takes the read lock,
+// so snapshots taken while searches are in flight are consistent.
 func (c *Cloud) Marshal() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	st := cloudState{
 		Params:   c.params,
 		AccPub:   c.accPub.Marshal(),
@@ -88,6 +91,7 @@ func UnmarshalCloud(data []byte) (*Cloud, error) {
 		primeSet: make(map[string]int, len(st.Primes)),
 		ac:       new(big.Int).SetBytes(st.Ac),
 		mode:     mode,
+		workers:  st.Params.SearchWorkers,
 	}
 	primes := make([]*big.Int, len(st.Primes))
 	for i, p := range st.Primes {

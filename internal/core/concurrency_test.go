@@ -1,0 +1,305 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// orderQuery returns a multi-token order query over the test deployment's
+// domain: roughly half the bits set, so the SORE decomposition yields
+// several slices.
+func orderQuery(bits int) Query {
+	v := (uint64(1)<<uint(bits) - 1) / 3 * 2
+	return Less(v)
+}
+
+// TestParallelSearchDeterminism asserts the parallel pipeline is
+// byte-identical to the serial one: the same request searched with
+// workers=1 and workers=8 (and verified with both fan-outs) produces the
+// same marshaled response.
+func TestParallelSearchDeterminism(t *testing.T) {
+	db := make([]Record, 0, 64)
+	for i := uint64(0); i < 64; i++ {
+		db = append(db, NewRecord(i+1, (i*7)%256))
+	}
+	d := deploy(t, 8, db, WitnessCached)
+	for _, q := range []Query{orderQuery(8), Equal(db[3].Attrs[0].Value)} {
+		req, err := d.user.Token(q)
+		if err != nil {
+			t.Fatalf("Token(%+v): %v", q, err)
+		}
+		if err := d.cloud.SetSearchWorkers(1); err != nil {
+			t.Fatal(err)
+		}
+		serial, err := d.cloud.Search(req)
+		if err != nil {
+			t.Fatalf("serial Search: %v", err)
+		}
+		if err := d.cloud.SetSearchWorkers(8); err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := d.cloud.Search(req)
+		if err != nil {
+			t.Fatalf("parallel Search: %v", err)
+		}
+		sb, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := json.Marshal(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sb) != string(pb) {
+			t.Fatalf("parallel response differs from serial for %+v", q)
+		}
+		// The split SearchResults + AttachWitnesses pipeline agrees too.
+		split, err := d.cloud.SearchResults(req)
+		if err != nil {
+			t.Fatalf("SearchResults: %v", err)
+		}
+		if err := d.cloud.AttachWitnesses(split); err != nil {
+			t.Fatalf("AttachWitnesses: %v", err)
+		}
+		qb, err := json.Marshal(split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(qb) != string(sb) {
+			t.Fatalf("split pipeline response differs from serial for %+v", q)
+		}
+		pp, ac := d.owner.AccumulatorPub(), d.owner.Ac()
+		if err := VerifyResponseWorkers(pp, ac, req, parallel, 1); err != nil {
+			t.Fatalf("serial verify: %v", err)
+		}
+		if err := VerifyResponseWorkers(pp, ac, req, parallel, 8); err != nil {
+			t.Fatalf("parallel verify: %v", err)
+		}
+	}
+}
+
+// TestParallelSearchFirstError asserts the parallel pipeline reports the
+// same (lowest-index) token error a serial sweep would, regardless of
+// worker count.
+func TestParallelSearchFirstError(t *testing.T) {
+	db := []Record{NewRecord(1, 10), NewRecord(2, 20), NewRecord(3, 30)}
+	d := deploy(t, 8, db, WitnessCached)
+	req, err := d.user.Token(orderQuery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Tokens) < 2 {
+		t.Skipf("need >= 2 tokens, got %d", len(req.Tokens))
+	}
+	// Corrupt two tokens: the reported error must be the lower index's.
+	bad := *req
+	bad.Tokens = append([]SearchToken(nil), req.Tokens...)
+	for _, i := range []int{1, len(bad.Tokens) - 1} {
+		tok := bad.Tokens[i]
+		tok.G1 = []byte("short") // malformed PRF key -> "token G1" error
+		bad.Tokens[i] = tok
+	}
+	var serialErr error
+	if err := d.cloud.SetSearchWorkers(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, serialErr = d.cloud.Search(&bad); serialErr == nil {
+		t.Fatal("serial search of corrupted request succeeded")
+	}
+	for _, workers := range []int{2, 8} {
+		if err := d.cloud.SetSearchWorkers(workers); err != nil {
+			t.Fatal(err)
+		}
+		_, err := d.cloud.Search(&bad)
+		if err == nil {
+			t.Fatalf("workers=%d: corrupted request succeeded", workers)
+		}
+		if err.Error() != serialErr.Error() {
+			t.Fatalf("workers=%d error %q, serial error %q", workers, err, serialErr)
+		}
+	}
+}
+
+// TestConcurrentSearchDuringUpdates races many searching goroutines against
+// a stream of ApplyUpdate deltas — the multi-user serving scenario the
+// RWMutex enables. Run under -race. Every response produced against the
+// pre-insert token snapshot must stay internally consistent (same token
+// order, no errors), and once updates quiesce all epochs verify against the
+// final accumulation value.
+func TestConcurrentSearchDuringUpdates(t *testing.T) {
+	db := make([]Record, 0, 40)
+	for i := uint64(0); i < 40; i++ {
+		db = append(db, NewRecord(i+1, (i*11)%256))
+	}
+	d := deploy(t, 8, db, WitnessCached)
+
+	// Token snapshot from before the inserts: stays answerable (and
+	// verifiable at its own epoch) throughout.
+	reqs := make([]*SearchRequest, 0, 4)
+	for _, q := range []Query{orderQuery(8), Greater(100), Equal(db[0].Attrs[0].Value), Less(50)} {
+		req, err := d.user.Token(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(req.Tokens) > 0 {
+			reqs = append(reqs, req)
+		}
+	}
+
+	const searchers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, searchers+1)
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < rounds; k++ {
+				req := reqs[(g+k)%len(reqs)]
+				resp, err := d.cloud.Search(req)
+				if err != nil {
+					errs <- fmt.Errorf("searcher %d round %d: %w", g, k, err)
+					return
+				}
+				if len(resp.Results) != len(req.Tokens) {
+					errs <- fmt.Errorf("searcher %d: %d results for %d tokens", g, len(resp.Results), len(req.Tokens))
+					return
+				}
+				for i := range resp.Results {
+					if resp.Results[i].Token.Epoch != req.Tokens[i].Epoch {
+						errs <- fmt.Errorf("searcher %d: result %d out of order", g, i)
+						return
+					}
+				}
+				// Exercise the read-locked accessors under contention too.
+				_ = d.cloud.PrimeCount()
+				_ = d.cloud.Ac()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		nextID := uint64(1000)
+		for k := 0; k < 6; k++ {
+			batch := make([]Record, 0, 3)
+			for j := uint64(0); j < 3; j++ {
+				batch = append(batch, NewRecord(nextID, (nextID*13)%256))
+				nextID++
+			}
+			out, err := d.owner.Insert(batch)
+			if err != nil {
+				errs <- fmt.Errorf("insert %d: %w", k, err)
+				return
+			}
+			if err := d.cloud.ApplyUpdate(out); err != nil {
+				errs <- fmt.Errorf("apply update %d: %w", k, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiesced: a fresh user sees every epoch and the response verifies
+	// against the final Ac (which the cloud and owner agree on).
+	if d.cloud.Ac().Cmp(d.owner.Ac()) != 0 {
+		t.Fatal("cloud and owner accumulation values diverged")
+	}
+	d.user.UpdateStates(d.owner.StatesSnapshot())
+	d.search(t, orderQuery(8))
+}
+
+// TestApplyUpdateWitnessMaintenance pins both cached-witness maintenance
+// strategies after the batched-exponent refresh: a trickle insert (|X⁺|
+// below the rebuild threshold) refreshes incrementally, a bulk insert
+// rebuilds — and both keep every epoch's proofs verifying.
+func TestApplyUpdateWitnessMaintenance(t *testing.T) {
+	db := make([]Record, 0, 20)
+	for i := uint64(0); i < 20; i++ {
+		db = append(db, NewRecord(i+1, (i*5)%256))
+	}
+	d := deploy(t, 8, db, WitnessCached)
+	insert := func(n int, firstID uint64) {
+		t.Helper()
+		batch := make([]Record, 0, n)
+		for j := 0; j < n; j++ {
+			batch = append(batch, NewRecord(firstID+uint64(j), (firstID+uint64(j))%256))
+		}
+		out, err := d.owner.Insert(batch)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := d.cloud.ApplyUpdate(out); err != nil {
+			t.Fatalf("ApplyUpdate: %v", err)
+		}
+		d.user.UpdateStates(d.owner.StatesSnapshot())
+	}
+	insert(1, 500) // incremental refresh path
+	d.search(t, orderQuery(8))
+	insert(40, 600) // |X⁺| >> log2(N): RootFactor rebuild path
+	d.search(t, orderQuery(8))
+	d.search(t, Equal(db[0].Attrs[0].Value))
+}
+
+// TestSetSearchWorkersValidation covers the knob's bounds and the Params
+// plumbing.
+func TestSetSearchWorkersValidation(t *testing.T) {
+	db := []Record{NewRecord(1, 1)}
+	params := testParams(8)
+	params.SearchWorkers = 2
+	owner, err := NewOwner(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := owner.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := NewCloud(owner.CloudInit(out.Index), WitnessCached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cloud.SearchWorkers(); got != 2 {
+		t.Fatalf("SearchWorkers = %d, want 2 (from Params)", got)
+	}
+	if err := cloud.SetSearchWorkers(-1); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	if err := cloud.SetSearchWorkers(0); err != nil {
+		t.Fatalf("SetSearchWorkers(0): %v", err)
+	}
+	params.SearchWorkers = -1
+	if _, err := NewOwner(params); err == nil {
+		t.Fatal("negative Params.SearchWorkers accepted")
+	}
+}
+
+// TestForEachIndexedFirstError pins the helper's deterministic error
+// selection directly: with several failing indices, the lowest wins at any
+// worker count, and lower indices are never skipped.
+func TestForEachIndexedFirstError(t *testing.T) {
+	fail := map[int]bool{3: true, 7: true, 11: true}
+	for _, workers := range []int{1, 2, 4, 16} {
+		err := forEachIndexed(16, workers, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("workers=%d: err = %v, want fail-3", workers, err)
+		}
+	}
+	if err := forEachIndexed(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty range: %v", err)
+	}
+}

@@ -13,10 +13,17 @@
 //	Verify() — the pure verification function executed by the blockchain
 //	           smart contract (package contract meters it for gas).
 //
-// Concurrency: the role types are not safe for concurrent use; callers that
-// share one role across goroutines must serialize access (package wire's
-// servers do). Owner.Build/Insert and the cloud's witness rebuild fan
-// CPU-bound crypto across cores internally.
+// Concurrency: Cloud is safe for concurrent use — Search, SearchResults,
+// AttachWitnesses and the read-only stats accessors take a read lock, while
+// ApplyUpdate takes the write lock, so any number of users can query one
+// cloud while the owner ships insert deltas. Within one request the cloud
+// additionally fans per-token work across a bounded worker pool
+// (Params.SearchWorkers; 0 = one worker per core, 1 = the serial pipeline),
+// and VerifyResponse parallelizes Algorithm 5 the same way. Owner and User
+// remain single-writer types: callers that share them across goroutines
+// must serialize mutations (concurrent read-only use — Token generation,
+// Decrypt — is safe). Owner.Build/Insert and the cloud's witness rebuild
+// also fan CPU-bound crypto across cores internally.
 package core
 
 import (
@@ -113,6 +120,13 @@ type Params struct {
 	// no client-side intersection, at the cost of b extra index entries per
 	// record per attribute. Extension beyond the paper; see DESIGN.md.
 	PrefixIndex bool
+	// SearchWorkers bounds the per-request token fan-out of the parallel
+	// search/verify pipeline (Cloud.Search, Cloud.SearchResults,
+	// Cloud.AttachWitnesses and VerifyResponse all process the request's
+	// tokens independently). 0 runs one worker per available core
+	// (GOMAXPROCS); 1 reproduces the serial pipeline exactly. Output is
+	// byte-identical at every setting.
+	SearchWorkers int
 }
 
 // DefaultParams returns the benchmark parameterization used throughout the
@@ -134,6 +148,9 @@ func (p Params) validate() error {
 	}
 	if p.AccumulatorBits < 64 {
 		return fmt.Errorf("core: accumulator modulus %d too small", p.AccumulatorBits)
+	}
+	if p.SearchWorkers < 0 {
+		return fmt.Errorf("core: search workers must be >= 0, got %d", p.SearchWorkers)
 	}
 	return nil
 }

@@ -26,10 +26,24 @@ func VerifyTokenResult(pp *accumulator.PublicParams, ac *big.Int, res TokenResul
 // answers. It enforces completeness at the response level too: the cloud
 // must answer every requested token exactly once, otherwise a lazy cloud
 // could silently drop tokens whose results it does not want to return.
+//
+// Algorithm 5 is independent per token result, so the per-result proof
+// checks (multiset hash + hash-to-prime + witness modexp) fan out across
+// one worker per available core. Use VerifyResponseWorkers to bound the
+// fan-out (workers = 1 reproduces the serial loop exactly); either way the
+// outcome — including which result's error is reported — is deterministic.
 func VerifyResponse(pp *accumulator.PublicParams, ac *big.Int, req *SearchRequest, resp *SearchResponse) error {
+	return VerifyResponseWorkers(pp, ac, req, resp, 0)
+}
+
+// VerifyResponseWorkers is VerifyResponse with an explicit fan-out bound:
+// 0 uses one worker per available core, 1 verifies serially.
+func VerifyResponseWorkers(pp *accumulator.PublicParams, ac *big.Int, req *SearchRequest, resp *SearchResponse, workers int) error {
 	if len(resp.Results) != len(req.Tokens) {
 		return fmt.Errorf("%w: %d results for %d tokens", ErrVerification, len(resp.Results), len(req.Tokens))
 	}
+	// Response-level completeness accounting is sequential (shared map,
+	// negligible cost); only the per-result cryptographic checks fan out.
 	remaining := make(map[string]int, len(req.Tokens))
 	for _, tok := range req.Tokens {
 		remaining[tokenKey(tok)]++
@@ -40,11 +54,13 @@ func VerifyResponse(pp *accumulator.PublicParams, ac *big.Int, req *SearchReques
 			return fmt.Errorf("%w: result %d answers a token that was not requested", ErrVerification, i)
 		}
 		remaining[key]--
-		if !VerifyTokenResult(pp, ac, res) {
+	}
+	return forEachIndexed(len(resp.Results), effectiveWorkers(workers), func(i int) error {
+		if !VerifyTokenResult(pp, ac, resp.Results[i]) {
 			return fmt.Errorf("%w: token result %d has an invalid proof", ErrVerification, i)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 func tokenKey(tok SearchToken) string {

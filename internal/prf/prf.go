@@ -15,6 +15,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 )
 
 // Size is the output size of the PRF in bytes (128 bits, matching the
@@ -113,4 +114,34 @@ func (k Key) EvalWithCounter(msg []byte, counter uint64) []byte {
 // Equal reports whether two keys hold the same material, in constant time.
 func (k Key) Equal(other Key) bool {
 	return len(k.k) == len(other.k) && hmac.Equal(k.k, other.k)
+}
+
+// Evaluator evaluates one key's PRF repeatedly without per-call heap
+// allocations: the keyed HMAC state and the output buffer are created once
+// and reused. The hot search loop walks thousands of (label, mask)
+// evaluations per request, where the per-call hmac.New + Sum allocations of
+// Key.EvalWithCounter dominate; an Evaluator amortizes them away.
+//
+// An Evaluator is NOT safe for concurrent use; create one per goroutine.
+type Evaluator struct {
+	mac hash.Hash
+	sum []byte
+	ctr [8]byte // counter scratch; a local would escape through hash.Hash
+}
+
+// NewEvaluator creates a reusable evaluator for the key.
+func (k Key) NewEvaluator() *Evaluator {
+	return &Evaluator{mac: hmac.New(sha256.New, k.k)}
+}
+
+// EvalWithCounter computes F_k(msg || counter), identical to
+// Key.EvalWithCounter. The returned slice aliases the evaluator's internal
+// buffer and is only valid until the next call.
+func (e *Evaluator) EvalWithCounter(msg []byte, counter uint64) []byte {
+	binary.BigEndian.PutUint64(e.ctr[:], counter)
+	e.mac.Reset()
+	e.mac.Write(msg)
+	e.mac.Write(e.ctr[:])
+	e.sum = e.mac.Sum(e.sum[:0])
+	return e.sum[:Size]
 }

@@ -164,3 +164,44 @@ func TestZeroKeyInvalid(t *testing.T) {
 		t.Error("zero key reported valid")
 	}
 }
+
+func TestEvaluatorMatchesEvalWithCounter(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	e := k.NewEvaluator()
+	msgs := [][]byte{[]byte("trapdoor-a"), []byte("trapdoor-b"), {}}
+	for _, msg := range msgs {
+		for ctr := uint64(0); ctr < 20; ctr++ {
+			want := k.EvalWithCounter(msg, ctr)
+			got := e.EvalWithCounter(msg, ctr)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Evaluator(%q, %d) = %x, want %x", msg, ctr, got, want)
+			}
+		}
+	}
+	// The returned slice aliases the internal buffer: a later call may
+	// overwrite it, but the value read before the next call must be right.
+	first := append([]byte(nil), e.EvalWithCounter(msgs[0], 1)...)
+	e.EvalWithCounter(msgs[1], 2)
+	if !bytes.Equal(first, k.EvalWithCounter(msgs[0], 1)) {
+		t.Fatal("copied evaluator output corrupted by later call")
+	}
+}
+
+func TestEvaluatorAllocFree(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	e := k.NewEvaluator()
+	msg := []byte("alloc-check")
+	e.EvalWithCounter(msg, 0) // warm the sum buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		e.EvalWithCounter(msg, 7)
+	})
+	if allocs > 0 {
+		t.Fatalf("Evaluator.EvalWithCounter allocates %.1f times per call, want 0", allocs)
+	}
+}

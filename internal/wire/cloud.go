@@ -127,9 +127,13 @@ func decodePrimes(raw [][]byte) []*big.Int {
 	return out
 }
 
-// CloudServer hosts a core.Cloud behind the RPC protocol.
+// CloudServer hosts a core.Cloud behind the RPC protocol. Connections are
+// served concurrently: core.Cloud is safe for concurrent use (searches take
+// its read lock, updates its write lock), so the server's own mutex guards
+// only the initialization of the cloud pointer — search traffic from many
+// clients proceeds in parallel and is never serialized by the RPC layer.
 type CloudServer struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex // guards the cloud pointer, not the cloud's state
 	cloud *core.Cloud
 	srv   *Server
 }
@@ -154,12 +158,11 @@ func (cs *CloudServer) Close() error { return cs.srv.Close() }
 // Snapshot serializes the hosted cloud's state (nil if uninitialized), for
 // persistence across server restarts.
 func (cs *CloudServer) Snapshot() ([]byte, error) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.cloud == nil {
+	cloud, err := cs.get()
+	if err != nil {
 		return nil, nil
 	}
-	return cs.cloud.Marshal()
+	return cloud.Marshal()
 }
 
 // Restore loads a previously snapshotted cloud state. It may only run
@@ -201,8 +204,8 @@ func (cs *CloudServer) handleInit(params json.RawMessage) (any, error) {
 }
 
 func (cs *CloudServer) get() (*core.Cloud, error) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
 	if cs.cloud == nil {
 		return nil, errors.New("wire: cloud not initialized")
 	}
@@ -222,8 +225,6 @@ func (cs *CloudServer) handleUpdate(params json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	if err := cloud.ApplyUpdate(out); err != nil {
 		return nil, err
 	}
@@ -239,8 +240,6 @@ func (cs *CloudServer) handleSearch(params json.RawMessage) (any, error) {
 	if err := json.Unmarshal(params, &req); err != nil {
 		return nil, err
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	return cloud.Search(&req)
 }
 
@@ -249,8 +248,6 @@ func (cs *CloudServer) handleStats(json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	return &CloudStats{
 		IndexEntries: cloud.IndexLen(),
 		IndexBytes:   cloud.IndexSizeBytes(),

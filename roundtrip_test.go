@@ -1,0 +1,55 @@
+package slicer
+
+import (
+	"testing"
+
+	"slicer/internal/workload"
+)
+
+// TestRangeSearchSingleRoundTrip pins the batched default range path: an
+// interior range [lo, hi] (both bounds live) resolves with exactly ONE
+// SearchRequest to the cloud — the lower- and upper-bound token lists are
+// merged and verified as one response — instead of the two round trips the
+// two one-sided conditions used to cost. The whole-domain case batches the
+// same way.
+func TestRangeSearchSingleRoundTrip(t *testing.T) {
+	db := workload.Generate(workload.Config{N: 200, Bits: 8, Seed: 77})
+	s, err := NewScheme(testParams(8), db)
+	if err != nil {
+		t.Fatalf("NewScheme: %v", err)
+	}
+	naive := func(lo, hi uint64) []uint64 {
+		var ids []uint64
+		for _, rec := range db {
+			if v := rec.Attrs[0].Value; v >= lo && v <= hi {
+				ids = append(ids, rec.ID)
+			}
+		}
+		sortU64(ids)
+		return ids
+	}
+	cases := []struct {
+		name   string
+		lo, hi uint64
+	}{
+		{"interior", 40, 200},
+		{"whole-domain", 0, 255},
+		{"lower-only", 100, 255},
+		{"upper-only", 0, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := s.Cloud().SearchCalls()
+			got, err := s.RangeSearch("", tc.lo, tc.hi)
+			if err != nil {
+				t.Fatalf("RangeSearch(%d,%d): %v", tc.lo, tc.hi, err)
+			}
+			if calls := s.Cloud().SearchCalls() - before; calls != 1 {
+				t.Fatalf("RangeSearch(%d,%d) issued %d search round trips, want 1", tc.lo, tc.hi, calls)
+			}
+			if want := naive(tc.lo, tc.hi); !equalU64(got, want) {
+				t.Fatalf("RangeSearch(%d,%d) = %v, want %v", tc.lo, tc.hi, got, want)
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ package slicer
 
 import (
 	"fmt"
+	"sync"
 
 	"slicer/internal/core"
 	"slicer/internal/store"
@@ -167,9 +168,11 @@ func (s *Scheme) Search(q Query) ([]uint64, error) {
 // inclusive range [lo, hi]. It is an extension over the paper's one-sided
 // conditions. Two strategies are available:
 //
-//   - Default: both one-sided conditions are searched and verified
-//     independently and the intersection is taken client side, so
-//     completeness follows from the completeness of each side.
+//   - Default: both one-sided conditions resolve to token lists that are
+//     merged into a single SearchRequest — one cloud round trip and one
+//     verification for the whole range — and the intersection is taken
+//     client side, so completeness follows from the completeness of each
+//     side.
 //   - With Params.PrefixIndex: the range decomposes into its canonical
 //     prefix cover and resolves as exact keyword lookups — fewer fetched
 //     records, one verified result set per cover node.
@@ -191,41 +194,62 @@ func (s *Scheme) RangeSearch(attr string, lo, hi uint64) ([]uint64, error) {
 
 	// a in [lo,hi]  <=>  a > lo-1  AND  a < hi+1, with saturated bounds
 	// handled by dropping the vacuous side.
-	var lower, upper []uint64
 	haveLower, haveUpper := lo > 0, hi < maxVal
-	var err error
-	if haveLower {
-		lower, err = s.Search(Query{Attr: attr, Op: OpGreater, Value: lo - 1})
-		if err != nil {
-			return nil, err
-		}
-	}
-	if haveUpper {
-		upper, err = s.Search(Query{Attr: attr, Op: OpLess, Value: hi + 1})
-		if err != nil {
-			return nil, err
-		}
-	}
 	switch {
 	case haveLower && haveUpper:
-		return intersectSorted(lower, upper), nil
+		return s.searchPair(
+			Query{Attr: attr, Op: OpGreater, Value: lo - 1},
+			Query{Attr: attr, Op: OpLess, Value: hi + 1},
+			intersectSorted)
 	case haveLower:
-		return lower, nil
+		return s.Search(Query{Attr: attr, Op: OpGreater, Value: lo - 1})
 	case haveUpper:
-		return upper, nil
+		return s.Search(Query{Attr: attr, Op: OpLess, Value: hi + 1})
 	default:
 		// The range covers the whole domain: equivalent to a < max with the
 		// equality at max unioned in.
-		below, err := s.Search(Query{Attr: attr, Op: OpLess, Value: maxVal})
-		if err != nil {
-			return nil, err
-		}
-		at, err := s.Search(Query{Attr: attr, Op: OpEqual, Value: maxVal})
-		if err != nil {
-			return nil, err
-		}
-		return unionSorted(below, at), nil
+		return s.searchPair(
+			Query{Attr: attr, Op: OpLess, Value: maxVal},
+			Query{Attr: attr, Op: OpEqual, Value: maxVal},
+			unionSorted)
 	}
+}
+
+// searchPair answers two queries with one cloud round trip: their token
+// lists merge into a single SearchRequest, the response is verified once
+// (Algorithm 5 is per token, so verifying the merged response is exactly
+// verifying both halves), and each query's result slice is decrypted
+// separately before combining. The cloud keeps results in token order,
+// which makes the split well defined.
+func (s *Scheme) searchPair(a, b Query, combine func(x, y []uint64) []uint64) ([]uint64, error) {
+	reqA, err := s.user.Token(a)
+	if err != nil {
+		return nil, err
+	}
+	reqB, err := s.user.Token(b)
+	if err != nil {
+		return nil, err
+	}
+	merged := &SearchRequest{Tokens: make([]SearchToken, 0, len(reqA.Tokens)+len(reqB.Tokens))}
+	merged.Tokens = append(merged.Tokens, reqA.Tokens...)
+	merged.Tokens = append(merged.Tokens, reqB.Tokens...)
+	resp, err := s.cloud.Search(merged)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.VerifyResponse(s.owner.AccumulatorPub(), s.owner.Ac(), merged, resp); err != nil {
+		return nil, err
+	}
+	split := len(reqA.Tokens)
+	idsA, err := s.user.Decrypt(&SearchResponse{Results: resp.Results[:split]})
+	if err != nil {
+		return nil, err
+	}
+	idsB, err := s.user.Decrypt(&SearchResponse{Results: resp.Results[split:]})
+	if err != nil {
+		return nil, err
+	}
+	return combine(idsA, idsB), nil
 }
 
 // prefixRangeSearch answers [lo, hi] through the prefix-cover index.
@@ -263,28 +287,43 @@ func (s *Scheme) MaxValue() uint64 {
 
 // ConjunctiveSearch returns the IDs of records satisfying every condition
 // (an AND across attributes — e.g. age in [30,60] AND heart_rate > 100).
-// Each condition is answered and verified independently; the intersection
+// Conditions are independent verified range searches, so they run
+// concurrently (the Cloud is safe for concurrent queries); the intersection
 // happens client side, so the result inherits each side's completeness.
 // This extends the paper's multi-attribute extension (§V-F) with
-// multi-condition queries.
+// multi-condition queries. ConjunctiveSearch must not race Insert on the
+// same Scheme — the usual single-writer discipline for Scheme mutations.
 func (s *Scheme) ConjunctiveSearch(conds []Condition) ([]uint64, error) {
 	if len(conds) == 0 {
 		return nil, fmt.Errorf("slicer: conjunctive search needs at least one condition")
 	}
-	var acc []uint64
+	results := make([][]uint64, len(conds))
+	errs := make([]error, len(conds))
+	var wg sync.WaitGroup
 	for i, c := range conds {
-		ids, err := s.RangeSearch(c.Attr, c.Lo, c.Hi)
+		wg.Add(1)
+		go func(i int, c Condition) {
+			defer wg.Done()
+			ids, err := s.RangeSearch(c.Attr, c.Lo, c.Hi)
+			if err != nil {
+				errs[i] = fmt.Errorf("condition %d (%s in [%d,%d]): %w", i, c.Attr, c.Lo, c.Hi, err)
+				return
+			}
+			results[i] = ids
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("condition %d (%s in [%d,%d]): %w", i, c.Attr, c.Lo, c.Hi, err)
+			return nil, err
 		}
-		if i == 0 {
-			acc = ids
-		} else {
-			acc = intersectSorted(acc, ids)
-		}
-		if len(acc) == 0 {
-			return nil, nil
-		}
+	}
+	acc := results[0]
+	for _, ids := range results[1:] {
+		acc = intersectSorted(acc, ids)
+	}
+	if len(acc) == 0 {
+		return nil, nil
 	}
 	return acc, nil
 }

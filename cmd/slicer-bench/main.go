@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"slicer/internal/bench"
+	"slicer/internal/obs"
 )
 
 func main() {
@@ -34,9 +36,10 @@ func run() error {
 	var (
 		expFlag    = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 		scaleFlag  = flag.String("scale", "quick", "sweep scale: quick or full")
-		formatFlag = flag.String("format", "text", "output format: text, csv or markdown")
+		formatFlag = flag.String("format", "text", "output format: text, csv, markdown or json")
 		listFlag   = flag.Bool("list", false, "list experiment IDs and exit")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+		obsFlag    = flag.Bool("obs", false, "attach a metrics registry and print each experiment's instrument delta as JSON")
 	)
 	flag.Parse()
 	var render func(*bench.Table)
@@ -47,8 +50,10 @@ func run() error {
 		render = func(t *bench.Table) { t.FprintCSV(os.Stdout) }
 	case "markdown":
 		render = func(t *bench.Table) { t.FprintMarkdown(os.Stdout) }
+	case "json":
+		render = func(t *bench.Table) { t.FprintJSON(os.Stdout) }
 	default:
-		return fmt.Errorf("unknown -format %q (want text, csv or markdown)", *formatFlag)
+		return fmt.Errorf("unknown -format %q (want text, csv, markdown or json)", *formatFlag)
 	}
 
 	if *listFlag {
@@ -68,6 +73,11 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "  ... "+format+"\n", args...)
 		}
 	}
+	var reg *obs.Registry
+	if *obsFlag {
+		reg = obs.NewRegistry()
+		runner.Registry = reg
+	}
 
 	var selected []bench.Experiment
 	if *expFlag == "" {
@@ -86,11 +96,23 @@ func run() error {
 	start := time.Now()
 	for _, e := range selected {
 		expStart := time.Now()
+		var before map[string]float64
+		if reg != nil {
+			before = reg.Snapshot()
+		}
 		table, err := e.Run(runner)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		render(table)
+		if reg != nil {
+			delta := obs.Delta(before, reg.Snapshot())
+			blob, err := json.Marshal(map[string]any{"experiment": e.ID, "delta": delta})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("obs %s\n", blob)
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "  [%s done in %s]\n", e.ID, time.Since(expStart).Round(time.Millisecond))
 		}

@@ -18,6 +18,7 @@ import (
 
 	"slicer/internal/chain"
 	"slicer/internal/contract"
+	"slicer/internal/obs"
 	"slicer/internal/wire"
 )
 
@@ -35,11 +36,21 @@ func run() error {
 		fund       = flag.String("fund", "owner,user,cloud", "comma-separated account names to pre-fund")
 		balance    = flag.Uint64("balance", 1<<40, "genesis balance per funded account")
 		snapshot   = flag.String("snapshot", "", "path for chain persistence: replayed at boot if present, written at shutdown")
+		admin      = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz and /debug/pprof")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
+		idle       = flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections idle longer than this; 0 disables")
 	)
 	flag.Parse()
 	if *validators < 1 {
 		return fmt.Errorf("need at least one validator")
 	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
 
 	registry := chain.NewRegistry()
 	if err := contract.Register(registry); err != nil {
@@ -90,6 +101,16 @@ func run() error {
 	}
 
 	srv := wire.NewChainServer(network)
+	srv.SetObservability(reg, logger)
+	srv.Server().SetIdleTimeout(*idle)
+	if *admin != "" {
+		adm, err := obs.StartAdmin(*admin, reg, logger)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer adm.Close()
+		fmt.Printf("slicer-chain: admin endpoint on http://%s/metrics\n", adm.Addr())
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err

@@ -26,10 +26,12 @@ import (
 	"slicer/internal/chain"
 	"slicer/internal/contract"
 	"slicer/internal/core"
+	"slicer/internal/obs"
 	"slicer/internal/wire"
 	"slicer/internal/workload"
 
 	"encoding/json"
+	"log/slog"
 )
 
 // cliState is what persists between invocations.
@@ -73,6 +75,14 @@ func commonFlags(fs *flag.FlagSet) (statePath, cloudAddr, chainAddr *string) {
 	cloudAddr = fs.String("cloud", "127.0.0.1:7401", "cloud server address")
 	chainAddr = fs.String("chain", "127.0.0.1:7402", "chain server address")
 	return
+}
+
+// logFlags registers the logging flags and returns a constructor for the
+// configured logger (writing to stderr so stdout stays parseable).
+func logFlags(fs *flag.FlagSet) func() (*slog.Logger, error) {
+	level := fs.String("log-level", "warn", "log level: debug, info, warn, error")
+	format := fs.String("log-format", "text", "log format: text or json")
+	return func() (*slog.Logger, error) { return obs.NewLogger(os.Stderr, *level, *format) }
 }
 
 func loadState(path string) (*cliState, error) {
@@ -131,7 +141,12 @@ func cmdInit(args []string) error {
 	tdBits := fs.Int("trapdoor-bits", 1024, "trapdoor permutation modulus bits")
 	accBits := fs.Int("accumulator-bits", 1024, "accumulator modulus bits")
 	prefix := fs.Bool("prefix-index", false, "index bit prefixes to enable 'search -range lo:hi'")
+	mkLogger := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := mkLogger()
+	if err != nil {
 		return err
 	}
 
@@ -149,6 +164,7 @@ func cmdInit(args []string) error {
 	if err != nil {
 		return err
 	}
+	logger.Debug("index built", "records", len(db), "entries", built.Index.Len(), "keywords", len(built.Primes))
 	fmt.Printf("built encrypted index over %d records (%d index entries, %d keywords)\n",
 		len(db), built.Index.Len(), len(built.Primes))
 
@@ -205,7 +221,12 @@ func cmdInsert(args []string) error {
 	statePath, _, _ := commonFlags(fs)
 	random := fs.Int("random", 0, "generate N random records")
 	values := fs.String("values", "", "explicit records: id=value,...")
+	mkLogger := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := mkLogger()
+	if err != nil {
 		return err
 	}
 	st, err := loadState(*statePath)
@@ -224,6 +245,7 @@ func cmdInsert(args []string) error {
 	if err != nil {
 		return err
 	}
+	logger.Debug("delta built", "records", len(records))
 
 	cloud, err := wire.DialCloud(st.CloudAddr)
 	if err != nil {
@@ -271,8 +293,20 @@ func cmdSearch(args []string) error {
 	rangeFlag := fs.String("range", "", "inclusive range 'lo:hi' (needs init -prefix-index); overrides -op/-value")
 	attr := fs.String("attr", "", "attribute name (empty for single-attribute data)")
 	pay := fs.Uint64("pay", 1000, "search fee to escrow")
+	trace := fs.Bool("trace", false, "print a per-phase trace of the search after the results")
+	mkLogger := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := mkLogger()
+	if err != nil {
+		return err
+	}
+
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace("slicer-cli search")
+		defer func() { _ = tr.WriteText(os.Stderr) }()
 	}
 
 	st, err := loadState(*statePath)
@@ -290,6 +324,7 @@ func cmdSearch(args []string) error {
 
 	var req *core.SearchRequest
 	var queryDesc string
+	endToken := tr.Span("token")
 	if *rangeFlag != "" {
 		parts := strings.SplitN(*rangeFlag, ":", 2)
 		if len(parts) != 2 {
@@ -326,6 +361,8 @@ func cmdSearch(args []string) error {
 		}
 		queryDesc = fmt.Sprintf("%s %s %d", *attr, *opFlag, *value)
 	}
+	endToken()
+	logger.Debug("tokens generated", "query", queryDesc, "tokens", len(req.Tokens))
 	fmt.Printf("query %s -> %d search tokens\n", queryDesc, len(req.Tokens))
 
 	chainCli, err := wire.DialChain(st.ChainAddr)
@@ -345,6 +382,7 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
+	endEscrow := tr.Span("escrow")
 	rc, err := chainCli.Mine(&chain.Transaction{
 		From: st.UserAcct, To: st.ContractAddr, Nonce: nonce, Value: *pay,
 		GasLimit: 1_000_000, Data: contract.RequestData(reqID, st.CloudAcct, th),
@@ -355,6 +393,8 @@ func cmdSearch(args []string) error {
 	if !rc.Status {
 		return fmt.Errorf("escrow request reverted: %s", rc.Err)
 	}
+	endEscrow()
+	logger.Debug("payment escrowed", "fee", *pay, "gas", rc.GasUsed)
 	fmt.Printf("escrowed %d on chain (request %x...)\n", *pay, reqID[:6])
 
 	cloud, err := wire.DialCloud(st.CloudAddr)
@@ -362,10 +402,13 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	defer cloud.Close()
+	endSearch := tr.Span("cloud_search")
 	resp, err := cloud.Search(req)
 	if err != nil {
 		return fmt.Errorf("cloud search: %w", err)
 	}
+	endSearch()
+	logger.Debug("cloud answered", "tokens", len(resp.Results))
 
 	submit, err := contract.SubmitData(reqID, owner.AccumulatorPub().Marshal(), owner.Ac(), resp.Results)
 	if err != nil {
@@ -375,6 +418,7 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
+	endSettle := tr.Span("settle")
 	rc, err = chainCli.Mine(&chain.Transaction{
 		From: st.CloudAcct, To: st.ContractAddr, Nonce: nonce,
 		GasLimit: 50_000_000, Data: submit,
@@ -385,16 +429,20 @@ func cmdSearch(args []string) error {
 	if !rc.Status {
 		return fmt.Errorf("result submission reverted: %s", rc.Err)
 	}
+	endSettle()
+	logger.Debug("results submitted", "gas", rc.GasUsed)
 	if len(rc.ReturnData) != 1 || rc.ReturnData[0] != 1 {
 		fmt.Println("on-chain verification FAILED; payment refunded")
 		return nil
 	}
 	fmt.Printf("on-chain verification passed (gas %d); payment settled to the cloud\n", rc.GasUsed)
 
+	endDecrypt := tr.Span("decrypt")
 	ids, err := user.Decrypt(resp)
 	if err != nil {
 		return err
 	}
+	endDecrypt()
 	fmt.Println("matching record IDs:", ids)
 	return nil
 }
@@ -402,7 +450,11 @@ func cmdSearch(args []string) error {
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ContinueOnError)
 	statePath, _, _ := commonFlags(fs)
+	mkLogger := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := mkLogger(); err != nil {
 		return err
 	}
 	st, err := loadState(*statePath)
@@ -420,6 +472,7 @@ func cmdStatus(args []string) error {
 	}
 	fmt.Printf("cloud %s: %d index entries (%d bytes), %d primes (%d bytes)\n",
 		st.CloudAddr, stats.IndexEntries, stats.IndexBytes, stats.Primes, stats.ADSBytes)
+	fmt.Printf("  served %d searches, up %.0fs\n", stats.SearchCalls, stats.UptimeSeconds)
 
 	chainCli, err := wire.DialChain(st.ChainAddr)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"slicer/internal/obs"
 	"slicer/internal/wire"
 )
 
@@ -30,9 +31,29 @@ func main() {
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:7401", "address to listen on")
 	state := flag.String("state", "", "path for cloud persistence: restored at boot if present, written at shutdown")
+	admin := flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz and /debug/pprof")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	idle := flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections idle longer than this; 0 disables")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+
 	srv := wire.NewCloudServer()
+	srv.SetObservability(reg, logger)
+	srv.Server().SetIdleTimeout(*idle)
+	if *admin != "" {
+		adm, err := obs.StartAdmin(*admin, reg, logger)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer adm.Close()
+		fmt.Printf("slicer-cloud: admin endpoint on http://%s/metrics\n", adm.Addr())
+	}
 	if *state != "" {
 		if data, err := os.ReadFile(*state); err == nil {
 			if err := srv.Restore(data); err != nil {

@@ -7,6 +7,7 @@ import (
 	"slicer/internal/chain"
 	"slicer/internal/contract"
 	"slicer/internal/core"
+	"slicer/internal/obs"
 )
 
 // Re-exported chain types used by the on-chain API.
@@ -65,6 +66,46 @@ type Deployment struct {
 	// tamper, when set, mutates cloud responses before submission —
 	// used by examples and tests to demonstrate the refund path.
 	tamper func(*SearchResponse)
+
+	met deployMetrics
+}
+
+// deployMetrics are the fair-exchange instruments. The zero value is the
+// disabled state — every instrument is nil-safe.
+type deployMetrics struct {
+	searches *obs.Counter
+	settled  *obs.Counter
+	refunded *obs.Counter
+	gas      *obs.Counter
+	escrow   *obs.Histogram
+	search   *obs.Histogram
+	settle   *obs.Histogram
+	decrypt  *obs.Histogram
+}
+
+// SetObservability attaches a metrics registry to the deployment: the
+// fair-exchange flow records per-phase latency histograms (escrow mining,
+// cloud search, on-chain settlement, decryption), settlement outcomes and
+// verification gas; the in-process cloud records its own phase histograms
+// into the same registry. A nil registry detaches. Observability never
+// changes any protocol output.
+func (d *Deployment) SetObservability(reg *obs.Registry) {
+	d.cloud.SetMetrics(reg)
+	if reg == nil {
+		d.met = deployMetrics{}
+		return
+	}
+	const phaseHelp = "Latency of one fair-exchange phase, by phase."
+	d.met = deployMetrics{
+		searches: reg.Counter("slicer_fairexchange_searches_total", "Fair-exchange searches run."),
+		settled:  reg.Counter("slicer_fairexchange_settled_total", "Searches whose payment settled to the cloud."),
+		refunded: reg.Counter("slicer_fairexchange_refunded_total", "Searches refunded after failed on-chain verification."),
+		gas:      reg.Counter("slicer_fairexchange_gas_total", "Gas consumed by result-submission transactions (on-chain verification)."),
+		escrow:   reg.Histogram(obs.Label("slicer_fairexchange_seconds", "phase", "escrow"), phaseHelp),
+		search:   reg.Histogram(obs.Label("slicer_fairexchange_seconds", "phase", "cloud_search"), phaseHelp),
+		settle:   reg.Histogram(obs.Label("slicer_fairexchange_seconds", "phase", "settle"), phaseHelp),
+		decrypt:  reg.Histogram(obs.Label("slicer_fairexchange_seconds", "phase", "decrypt"), phaseHelp),
+	}
 }
 
 // NewDeployment builds the database, boots the blockchain network and
@@ -295,6 +336,7 @@ func (d *Deployment) VerifiedRangeSearch(attr string, lo, hi uint64, payment uin
 }
 
 func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64) (*SearchOutcome, error) {
+	d.met.searches.Inc()
 	th, err := contract.TokensHash(req.Tokens)
 	if err != nil {
 		return nil, err
@@ -304,6 +346,7 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64) (*Searc
 		return nil, fmt.Errorf("slicer: sample request id: %w", err)
 	}
 
+	t0 := d.met.escrow.Start()
 	r, err := d.mine(&chain.Transaction{
 		From:     d.UserAddr,
 		To:       d.contractAddr,
@@ -318,11 +361,14 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64) (*Searc
 	if !r.Status {
 		return nil, fmt.Errorf("slicer: search request reverted: %s", r.Err)
 	}
+	d.met.escrow.ObserveSince(t0)
 
+	t0 = d.met.search.Start()
 	resp, err := d.cloud.Search(req)
 	if err != nil {
 		return nil, err
 	}
+	d.met.search.ObserveSince(t0)
 	if d.tamper != nil {
 		d.tamper(resp)
 	}
@@ -330,6 +376,7 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64) (*Searc
 	if err != nil {
 		return nil, err
 	}
+	t0 = d.met.settle.Start()
 	r, err = d.mine(&chain.Transaction{
 		From:     d.CloudAddr,
 		To:       d.contractAddr,
@@ -343,15 +390,22 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64) (*Searc
 	if !r.Status {
 		return nil, fmt.Errorf("slicer: result submission reverted: %s", r.Err)
 	}
+	d.met.settle.ObserveSince(t0)
+	d.met.gas.Add(r.GasUsed)
 
 	outcome := &SearchOutcome{RequestID: reqID, GasUsed: r.GasUsed}
 	if len(r.ReturnData) == 1 && r.ReturnData[0] == 1 {
+		d.met.settled.Inc()
 		outcome.Settled = true
+		t0 = d.met.decrypt.Start()
 		ids, err := d.user.Decrypt(resp)
 		if err != nil {
 			return nil, err
 		}
+		d.met.decrypt.ObserveSince(t0)
 		outcome.IDs = ids
+	} else {
+		d.met.refunded.Inc()
 	}
 	return outcome, nil
 }

@@ -5,17 +5,21 @@
 // insert shipped as a delta.
 //
 //	go run ./examples/distributed
+//	go run ./examples/distributed -admin 127.0.0.1:7499   # inspect /metrics live
 package main
 
 import (
 	"crypto/rand"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"slicer"
 	"slicer/internal/chain"
 	"slicer/internal/contract"
 	"slicer/internal/core"
+	"slicer/internal/obs"
 	"slicer/internal/wire"
 )
 
@@ -26,8 +30,31 @@ func main() {
 }
 
 func run() error {
+	admin := flag.String("admin", "", "optional admin HTTP address serving /metrics for both servers")
+	flag.Parse()
+
+	// Both servers and the client pipeline share one registry, so a single
+	// /metrics scrape shows the whole deployment.
+	reg := obs.NewRegistry()
+	logger := obs.Nop()
+	if *admin != "" {
+		var err error
+		if logger, err = obs.NewLogger(os.Stderr, "info", "text"); err != nil {
+			return err
+		}
+		adm, err := obs.StartAdmin(*admin, reg, logger)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint: http://%s/metrics\n", adm.Addr())
+	}
+	verifyDur := reg.Histogram(obs.Label("slicer_pipeline_seconds", "phase", "verify"),
+		"Latency of one client search-pipeline phase, by phase.")
+
 	// --- Servers (in production: separate machines) ---
 	cloudSrv := wire.NewCloudServer()
+	cloudSrv.SetObservability(reg, logger)
 	cloudAddr, err := cloudSrv.Listen("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -53,6 +80,7 @@ func run() error {
 		return err
 	}
 	chainSrv := wire.NewChainServer(network)
+	chainSrv.SetObservability(reg, logger)
 	chainAddr, err := chainSrv.Listen("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -196,7 +224,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := core.VerifyResponse(owner.AccumulatorPub(), owner.Ac(), req, resp); err != nil {
+	if err := core.VerifyResponseObserved(owner.AccumulatorPub(), owner.Ac(), req, resp, verifyDur, nil); err != nil {
 		return fmt.Errorf("verification after insert: %w", err)
 	}
 	ids, err = user.Decrypt(resp)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"slicer/internal/core"
+	"slicer/internal/obs"
 	"slicer/internal/workload"
 )
 
@@ -19,6 +20,10 @@ type Runner struct {
 	insertStats map[insertKey]core.UpdateStats
 	// Progress, when non-nil, receives status lines while experiments run.
 	Progress func(format string, args ...any)
+	// Registry, when non-nil, collects phase histograms from every cloud
+	// the runner builds; cmd/slicer-bench snapshots it around each
+	// experiment to report per-experiment instrument deltas.
+	Registry *obs.Registry
 }
 
 type deployKey struct {
@@ -70,6 +75,9 @@ func (r *Runner) ensure(bits, count int) (*deployment, error) {
 	cloud, err := core.NewCloud(owner.CloudInit(out.Index), core.WitnessOnDemand)
 	if err != nil {
 		return nil, err
+	}
+	if r.Registry != nil {
+		cloud.SetMetrics(r.Registry)
 	}
 	user, err := core.NewUser(owner.ClientState())
 	if err != nil {

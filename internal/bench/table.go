@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -49,6 +50,20 @@ func (t *Table) FprintCSV(w io.Writer) {
 		fmt.Fprintf(w, "# note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// FprintJSON renders the table as one JSON object per line (headers mapped
+// to cells), for machine consumption alongside observability deltas.
+func (t *Table) FprintJSON(w io.Writer) {
+	type jsonTable struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(jsonTable{ID: t.ID, Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes})
 }
 
 // FprintMarkdown renders the table as a GitHub-flavored markdown table.

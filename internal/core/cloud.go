@@ -9,6 +9,7 @@ import (
 
 	"slicer/internal/accumulator"
 	"slicer/internal/mhash"
+	"slicer/internal/obs"
 	"slicer/internal/prf"
 	"slicer/internal/store"
 	"slicer/internal/trapdoor"
@@ -53,6 +54,7 @@ type Cloud struct {
 	ac        *big.Int
 	mode      WitnessMode
 	workers   int // per-request token fan-out; 0 = GOMAXPROCS, 1 = serial
+	met       cloudMetrics
 
 	searchCalls atomic.Uint64 // Search invocations, for round-trip accounting
 }
@@ -134,6 +136,8 @@ func (c *Cloud) Ac() *big.Int {
 func (c *Cloud) ApplyUpdate(out *UpdateOutput) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.met.updates.Inc()
+	defer c.met.updateDur.ObserveSince(c.met.updateDur.Start())
 	if err := c.index.Merge(out.Index); err != nil {
 		return fmt.Errorf("apply index delta: %w", err)
 	}
@@ -251,12 +255,23 @@ func (c *Cloud) tokenWorkers(n int) int {
 // out across the worker pool; results keep the request's token order and a
 // failing request reports the first (lowest-index) token error.
 func (c *Cloud) Search(req *SearchRequest) (*SearchResponse, error) {
+	return c.SearchTraced(req, nil)
+}
+
+// SearchTraced is Search with an optional per-request trace: when tr is
+// non-nil every token's collect and witness phase is recorded as a span
+// (concurrent spans interleave by offset). The response is byte-identical
+// to Search's; a nil trace makes SearchTraced exactly Search.
+func (c *Cloud) SearchTraced(req *SearchRequest, tr *obs.Trace) (*SearchResponse, error) {
 	c.searchCalls.Add(1)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	c.met.searches.Inc()
+	c.met.tokens.Add(uint64(len(req.Tokens)))
+	t0 := c.met.search.Start()
 	results := make([]TokenResult, len(req.Tokens))
 	err := forEachIndexed(len(req.Tokens), c.tokenWorkers(len(req.Tokens)), func(i int) error {
-		res, err := c.searchToken(req.Tokens[i])
+		res, err := c.searchToken(req.Tokens[i], tr)
 		if err != nil {
 			return err
 		}
@@ -264,8 +279,10 @@ func (c *Cloud) Search(req *SearchRequest) (*SearchResponse, error) {
 		return nil
 	})
 	if err != nil {
+		c.met.errors.Inc()
 		return nil, err
 	}
+	c.met.search.ObserveSince(t0)
 	return &SearchResponse{Results: results}, nil
 }
 
@@ -277,10 +294,13 @@ func (c *Cloud) SearchResults(req *SearchRequest) (*SearchResponse, error) {
 	defer c.mu.RUnlock()
 	results := make([]TokenResult, len(req.Tokens))
 	err := forEachIndexed(len(req.Tokens), c.tokenWorkers(len(req.Tokens)), func(i int) error {
+		t0 := c.met.collect.Start()
 		er, err := c.collectResults(req.Tokens[i])
 		if err != nil {
 			return err
 		}
+		c.met.collect.ObserveSince(t0)
+		c.met.results.Add(uint64(len(er)))
 		results[i] = TokenResult{Token: req.Tokens[i], ER: er}
 		return nil
 	})
@@ -296,24 +316,31 @@ func (c *Cloud) AttachWitnesses(resp *SearchResponse) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return forEachIndexed(len(resp.Results), c.tokenWorkers(len(resp.Results)), func(i int) error {
+		t0 := c.met.witness.Start()
 		vo, err := c.witnessFor(resp.Results[i].Token, resp.Results[i].ER)
 		if err != nil {
 			return err
 		}
+		c.met.witness.ObserveSince(t0)
 		resp.Results[i].Witness = vo
 		return nil
 	})
 }
 
-func (c *Cloud) searchToken(tok SearchToken) (TokenResult, error) {
+func (c *Cloud) searchToken(tok SearchToken, tr *obs.Trace) (TokenResult, error) {
+	endCollect := obs.StartPhase(c.met.collect, tr, "cloud.collect")
 	er, err := c.collectResults(tok)
 	if err != nil {
 		return TokenResult{}, err
 	}
+	endCollect()
+	c.met.results.Add(uint64(len(er)))
+	endWitness := obs.StartPhase(c.met.witness, tr, "cloud.witness")
 	vo, err := c.witnessFor(tok, er)
 	if err != nil {
 		return TokenResult{}, err
 	}
+	endWitness()
 	return TokenResult{Token: tok, ER: er, Witness: vo}, nil
 }
 

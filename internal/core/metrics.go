@@ -1,0 +1,58 @@
+package core
+
+import (
+	"slicer/internal/obs"
+)
+
+// cloudMetrics are the cloud's pre-resolved instruments. The zero value
+// (all nil) is the disabled state: every instrument method is nil-safe and
+// never reads the clock, so an un-instrumented Cloud pays nothing beyond a
+// nil check per phase.
+type cloudMetrics struct {
+	searches  *obs.Counter   // search requests served
+	errors    *obs.Counter   // search requests that failed
+	tokens    *obs.Counter   // tokens across all requests
+	results   *obs.Counter   // encrypted result entries returned
+	search    *obs.Histogram // whole-request latency
+	collect   *obs.Histogram // per-token index walk (trapdoor chain + unmask)
+	witness   *obs.Histogram // per-token VO generation
+	updates   *obs.Counter   // ApplyUpdate calls
+	updateDur *obs.Histogram // ApplyUpdate latency (incl. witness maintenance)
+}
+
+// newCloudMetrics resolves the instrument set against reg; a nil registry
+// yields the all-nil (disabled) set.
+func newCloudMetrics(reg *obs.Registry) cloudMetrics {
+	if reg == nil {
+		return cloudMetrics{}
+	}
+	const phaseHelp = "Latency of one cloud search-pipeline phase, by phase."
+	return cloudMetrics{
+		searches: reg.Counter("slicer_cloud_searches_total",
+			"Search requests served by the cloud."),
+		errors: reg.Counter("slicer_cloud_search_errors_total",
+			"Search requests that returned an error."),
+		tokens: reg.Counter("slicer_cloud_search_tokens_total",
+			"Search tokens processed across all requests."),
+		results: reg.Counter("slicer_cloud_results_total",
+			"Encrypted result entries returned across all requests."),
+		search: reg.Histogram("slicer_cloud_search_seconds",
+			"Whole-request cloud search latency (Algorithm 4, all tokens)."),
+		collect: reg.Histogram(obs.Label("slicer_cloud_phase_seconds", "phase", "collect"), phaseHelp),
+		witness: reg.Histogram(obs.Label("slicer_cloud_phase_seconds", "phase", "witness"), phaseHelp),
+		updates: reg.Counter("slicer_cloud_updates_total",
+			"Index/ADS update deltas applied."),
+		updateDur: reg.Histogram("slicer_cloud_update_seconds",
+			"ApplyUpdate latency including cached-witness maintenance."),
+	}
+}
+
+// SetMetrics attaches (or with a nil registry detaches) the cloud's
+// instrumentation. Safe to call at any time; in-flight searches drain
+// first. Instrumentation never changes any protocol output.
+func (c *Cloud) SetMetrics(reg *obs.Registry) {
+	met := newCloudMetrics(reg)
+	c.mu.Lock()
+	c.met = met
+	c.mu.Unlock()
+}

@@ -6,6 +6,7 @@ import (
 
 	"slicer/internal/accumulator"
 	"slicer/internal/mhash"
+	"slicer/internal/obs"
 )
 
 // VerifyTokenResult runs Algorithm 5 for a single token result against the
@@ -34,6 +35,19 @@ func VerifyTokenResult(pp *accumulator.PublicParams, ac *big.Int, res TokenResul
 // outcome — including which result's error is reported — is deterministic.
 func VerifyResponse(pp *accumulator.PublicParams, ac *big.Int, req *SearchRequest, resp *SearchResponse) error {
 	return VerifyResponseWorkers(pp, ac, req, resp, 0)
+}
+
+// VerifyResponseObserved is VerifyResponse with observability: the whole
+// Algorithm-5 pass is timed into h and recorded as a "verify" span on tr.
+// Either (or both) may be nil; the verification outcome is identical in
+// every case.
+func VerifyResponseObserved(pp *accumulator.PublicParams, ac *big.Int, req *SearchRequest, resp *SearchResponse, h *obs.Histogram, tr *obs.Trace) error {
+	done := obs.StartPhase(h, tr, "verify")
+	err := VerifyResponseWorkers(pp, ac, req, resp, 0)
+	if err == nil {
+		done() // failed verifications don't pollute the latency histogram
+	}
+	return err
 }
 
 // VerifyResponseWorkers is VerifyResponse with an explicit fan-out bound:

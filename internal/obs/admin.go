@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Admin is the opt-in operational HTTP server the long-running binaries
+// expose behind -admin: Prometheus metrics, a liveness probe, expvar, and
+// the full net/http/pprof surface.
+//
+//	GET /metrics              Prometheus text exposition (add ?format=json for JSON)
+//	GET /healthz              "ok" + uptime
+//	GET /debug/vars           expvar JSON
+//	GET /debug/pprof/...      pprof index, profiles, symbol, trace
+type Admin struct {
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+}
+
+// StartAdmin binds addr (":0" picks a free port) and serves the admin
+// endpoints for reg in a background goroutine. logger may be nil.
+func StartAdmin(addr string, reg *Registry, logger *slog.Logger) (*Admin, error) {
+	if logger == nil {
+		logger = Nop()
+	}
+	a := &Admin{started: time.Now()}
+
+	// Process-level gauges ride along on the shared registry so every
+	// scrape sees runtime health next to the protocol metrics.
+	reg.GaugeFunc("slicer_process_uptime_seconds",
+		"Seconds since the admin endpoint started.",
+		func() float64 { return time.Since(a.started).Seconds() })
+	reg.GaugeFunc("slicer_process_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("slicer_process_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(a.started).Round(time.Millisecond))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	a.ln = ln
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := a.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("admin server exited", "err", err)
+		}
+	}()
+	logger.Info("admin endpoint serving", "addr", ln.Addr().String())
+	return a, nil
+}
+
+// Addr reports the bound address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin server immediately.
+func (a *Admin) Close() error { return a.srv.Close() }

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text format for a small
+// registry: HELP/TYPE lines once per family, deterministic ordering,
+// labeled series, cumulative histogram buckets with sum/count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "Things counted.").Add(3)
+	r.Counter(`b_total{op="eq"}`, "Labeled things.").Add(1)
+	r.Counter(`b_total{op="lt"}`, "").Add(2)
+	r.Gauge("c_current", "A level.").Set(2.5)
+	h := r.HistogramBuckets("d_seconds", "A latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP a_total Things counted.
+# TYPE a_total counter
+a_total 3
+# HELP b_total Labeled things.
+# TYPE b_total counter
+b_total{op="eq"} 1
+b_total{op="lt"} 2
+# HELP c_current A level.
+# TYPE c_current gauge
+c_current 2.5
+# HELP d_seconds A latency.
+# TYPE d_seconds histogram
+d_seconds_bucket{le="0.1"} 2
+d_seconds_bucket{le="1"} 3
+d_seconds_bucket{le="+Inf"} 4
+d_seconds_sum 5.6
+d_seconds_count 4
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(7)
+	r.HistogramBuckets("d_seconds", "", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if parsed["a_total"].(float64) != 7 {
+		t.Errorf("a_total = %v, want 7", parsed["a_total"])
+	}
+	hist := parsed["d_seconds"].(map[string]any)
+	if hist["count"].(float64) != 1 || hist["sum"].(float64) != 0.5 {
+		t.Errorf("histogram JSON = %v", hist)
+	}
+}
+
+// TestHistogramBucketBoundaries checks le semantics: a value equal to a
+// bucket's upper bound lands in that bucket, values beyond every bound
+// land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.1, 1, 10, 10.0001, 0.0999} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	wantBounds := []float64{0.1, 1, 10, math.Inf(1)}
+	wantCum := []uint64{2, 3, 4, 5} // 0.0999+0.1 <= 0.1; +1 <= 1; +10 <= 10; +Inf gets all
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] {
+			t.Errorf("bounds[%d] = %v, want %v", i, bounds[i], wantBounds[i])
+		}
+		if cum[i] != wantCum[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], wantCum[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestDefaultBucketsSorted(t *testing.T) {
+	for i := 1; i < len(DefLatencyBuckets); i++ {
+		if DefLatencyBuckets[i] <= DefLatencyBuckets[i-1] {
+			t.Fatalf("DefLatencyBuckets not strictly increasing at %d: %v", i, DefLatencyBuckets)
+		}
+	}
+}
+
+// TestNilSafety drives every instrument and export path through nil
+// receivers — the zero-cost-when-disabled contract.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "")
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Dec()
+	h.Observe(1)
+	h.ObserveSince(h.Start())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments accumulated values")
+	}
+	if !h.Start().IsZero() {
+		t.Error("nil histogram Start read the clock")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil Snapshot not nil")
+	}
+
+	var tr *Trace
+	tr.Span("p")()
+	StartPhase(nil, nil, "p")()
+	if tr.Spans() != nil || tr.Elapsed() != 0 {
+		t.Error("nil trace recorded spans")
+	}
+	if err := tr.WriteText(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil trace WriteText: %v", err)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "")
+	h := r.Histogram("b_seconds", "")
+	c.Add(2)
+	h.Observe(0.25)
+	before := r.Snapshot()
+	c.Add(3)
+	h.Observe(0.75)
+	d := Delta(before, r.Snapshot())
+	if d["a_total"] != 3 {
+		t.Errorf("delta a_total = %v, want 3", d["a_total"])
+	}
+	if d["b_seconds/count"] != 1 || math.Abs(d["b_seconds/sum"]-0.75) > 1e-12 {
+		t.Errorf("histogram delta = %v", d)
+	}
+	if len(Delta(r.Snapshot(), r.Snapshot())) != 0 {
+		t.Error("idempotent snapshot produced a non-empty delta")
+	}
+}
+
+func TestRegisterKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a histogram did not panic")
+		}
+	}()
+	r.Histogram("m", "")
+}
+
+// TestConcurrentUpdatesAndScrapes is the -race stress test: many writers
+// hammer one counter, one labeled counter family, a gauge and a histogram
+// while scrapers render both export formats.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	const writers, perWriter = 8, 2000
+	var writeWG, scrapeWG sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sink bytes.Buffer
+				_ = r.WritePrometheus(&sink)
+				_ = r.WriteJSON(&sink)
+				r.Snapshot()
+			}
+		}()
+	}
+	for wkr := 0; wkr < writers; wkr++ {
+		writeWG.Add(1)
+		go func(wkr int) {
+			defer writeWG.Done()
+			c := r.Counter("stress_total", "")
+			lc := r.Counter(Label("stress_by_worker_total", "w", fmt.Sprint(wkr%4)), "")
+			g := r.Gauge("stress_level", "")
+			h := r.Histogram("stress_seconds", "")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				lc.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) / 100)
+			}
+		}(wkr)
+	}
+	writeWG.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	if got := r.Counter("stress_total", "").Value(); got != writers*perWriter {
+		t.Errorf("stress_total = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Histogram("stress_seconds", "").Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	var total uint64
+	for w := 0; w < 4; w++ {
+		total += r.Counter(Label("stress_by_worker_total", "w", fmt.Sprint(w)), "").Value()
+	}
+	if total != writers*perWriter {
+		t.Errorf("labeled family total = %d, want %d", total, writers*perWriter)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	if !strings.Contains(buf.String(), "stress_seconds_count") {
+		t.Error("final scrape missing histogram count")
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Trace collects the spans of one request as it crosses pipeline phases.
+// It is safe for concurrent span recording (the cloud fans tokens across a
+// worker pool) and nil-safe: every method on a nil *Trace is a no-op, so
+// call sites thread an optional trace without branching.
+type Trace struct {
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// SpanRecord is one completed phase of a trace.
+type SpanRecord struct {
+	Phase    string        `json:"phase"`
+	Offset   time.Duration `json:"offsetNs"`   // start relative to the trace start
+	Duration time.Duration `json:"durationNs"` // wall time inside the phase
+}
+
+// NewTrace starts a named trace.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// Name reports the trace name ("" on a nil trace).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// record appends one completed span.
+func (t *Trace) record(phase string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, SpanRecord{Phase: phase, Offset: start.Sub(t.start), Duration: d})
+	t.mu.Unlock()
+}
+
+var nopEnd = func() {}
+
+// Span starts a phase span; invoke the returned func to end it. On a nil
+// trace the clock is never read.
+func (t *Trace) Span(phase string) func() {
+	if t == nil {
+		return nopEnd
+	}
+	t0 := time.Now()
+	return func() { t.record(phase, t0, time.Since(t0)) }
+}
+
+// StartPhase times one pipeline phase into an optional histogram and an
+// optional trace; either (or both) may be nil, in which case the clock is
+// not read. Invoke the returned func when the phase ends.
+func StartPhase(h *Histogram, t *Trace, phase string) func() {
+	if h == nil && t == nil {
+		return nopEnd
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		h.ObserveDuration(d)
+		t.record(phase, t0, d)
+	}
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Elapsed reports wall time since the trace started (0 on a nil trace).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// WriteText dumps the trace as aligned human-readable lines.
+func (t *Trace) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	if _, err := fmt.Fprintf(w, "trace %s (%d spans, %.3fms total)\n",
+		t.name, len(spans), float64(t.Elapsed().Microseconds())/1000); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if _, err := fmt.Fprintf(w, "  %-24s +%9.3fms %9.3fms\n",
+			s.Phase,
+			float64(s.Offset.Microseconds())/1000,
+			float64(s.Duration.Microseconds())/1000); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders {name, elapsedNs, spans}.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(struct {
+		Name      string        `json:"name"`
+		ElapsedNs time.Duration `json:"elapsedNs"`
+		Spans     []SpanRecord  `json:"spans"`
+	}{t.name, t.Elapsed(), t.Spans()})
+}

@@ -2,9 +2,12 @@ package wire
 
 import (
 	"encoding/json"
+	"log/slog"
 	"sync"
+	"time"
 
 	"slicer/internal/chain"
+	"slicer/internal/obs"
 )
 
 // Chain RPC methods.
@@ -50,11 +53,20 @@ type ChainServer struct {
 	mu      sync.Mutex
 	network *chain.Network
 	srv     *Server
+	started time.Time
+
+	// Chain-side settlement instrumentation (nil when not observed).
+	submitDur *obs.Histogram // tx admission into the pool
+	sealDur   *obs.Histogram // block sealing = tx execution incl. on-chain verification
+	blocks    *obs.Counter
+	txs       *obs.Counter
+	gasUsed   *obs.Counter
+	reverted  *obs.Counter
 }
 
 // NewChainServer wraps a network.
 func NewChainServer(network *chain.Network) *ChainServer {
-	cs := &ChainServer{network: network, srv: NewServer()}
+	cs := &ChainServer{network: network, srv: NewServer(), started: time.Now()}
 	cs.srv.Handle(MethodChainSubmit, cs.handleSubmit)
 	cs.srv.Handle(MethodChainStep, cs.handleStep)
 	cs.srv.Handle(MethodChainReceipt, cs.handleReceipt)
@@ -64,6 +76,36 @@ func NewChainServer(network *chain.Network) *ChainServer {
 	cs.srv.Handle(MethodChainHeight, cs.handleHeight)
 	return cs
 }
+
+// SetObservability attaches a metrics registry and/or structured logger:
+// the RPC layer gains per-method series (server="chain") and sealing
+// exposes verification/settlement cost — per-block execution latency
+// (which includes the contract's on-chain result verification), blocks and
+// transactions sealed, gas burned and reverted transactions. Either
+// argument may be nil.
+func (cs *ChainServer) SetObservability(reg *obs.Registry, logger *slog.Logger) {
+	cs.srv.SetLogger(logger)
+	if reg == nil {
+		return
+	}
+	cs.srv.SetMetrics(reg, "chain")
+	reg.GaugeFunc("slicer_chain_uptime_seconds",
+		"Seconds since the chain server started.",
+		func() float64 { return time.Since(cs.started).Seconds() })
+	const phaseHelp = "Latency of one chain settlement phase, by phase."
+	cs.mu.Lock()
+	cs.submitDur = reg.Histogram(obs.Label("slicer_chain_phase_seconds", "phase", "submit"), phaseHelp)
+	cs.sealDur = reg.Histogram(obs.Label("slicer_chain_phase_seconds", "phase", "seal"), phaseHelp)
+	cs.blocks = reg.Counter("slicer_chain_blocks_total", "Blocks sealed.")
+	cs.txs = reg.Counter("slicer_chain_txs_total", "Transactions executed in sealed blocks.")
+	cs.gasUsed = reg.Counter("slicer_chain_gas_used_total",
+		"Gas consumed by executed transactions (on-chain verification dominates).")
+	cs.reverted = reg.Counter("slicer_chain_txs_reverted_total", "Transactions that reverted.")
+	cs.mu.Unlock()
+}
+
+// Server exposes the underlying RPC server for transport-level tuning.
+func (cs *ChainServer) Server() *Server { return cs.srv }
 
 // Listen binds the server and returns its address.
 func (cs *ChainServer) Listen(addr string) (string, error) { return cs.srv.Listen(addr) }
@@ -78,9 +120,11 @@ func (cs *ChainServer) handleSubmit(params json.RawMessage) (any, error) {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	t0 := cs.submitDur.Start()
 	if err := cs.network.SubmitTx(&tx); err != nil {
 		return nil, err
 	}
+	cs.submitDur.ObserveSince(t0)
 	h := tx.Hash()
 	return h[:], nil
 }
@@ -88,9 +132,19 @@ func (cs *ChainServer) handleSubmit(params json.RawMessage) (any, error) {
 func (cs *ChainServer) handleStep(json.RawMessage) (any, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	t0 := cs.sealDur.Start()
 	block, err := cs.network.Step()
 	if err != nil {
 		return nil, err
+	}
+	cs.sealDur.ObserveSince(t0)
+	cs.blocks.Inc()
+	cs.txs.Add(uint64(len(block.Receipts)))
+	for _, r := range block.Receipts {
+		cs.gasUsed.Add(r.GasUsed)
+		if !r.Status {
+			cs.reverted.Inc()
+		}
 	}
 	return map[string]uint64{"number": block.Header.Number}, nil
 }

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/big"
 	"sync"
+	"time"
 
 	"slicer/internal/accumulator"
 	"slicer/internal/core"
+	"slicer/internal/obs"
 	"slicer/internal/store"
 	"slicer/internal/trapdoor"
 )
@@ -40,12 +43,18 @@ type UpdateMsg struct {
 	Ac     []byte   `json:"ac"`
 }
 
-// CloudStats reports server-side sizes (used by experiments and examples).
+// CloudStats reports server-side sizes and service counters (used by
+// experiments, examples and `slicer-cli status`).
 type CloudStats struct {
 	IndexEntries int `json:"indexEntries"`
 	IndexBytes   int `json:"indexBytes"`
 	Primes       int `json:"primes"`
 	ADSBytes     int `json:"adsBytes"`
+	// SearchCalls is how many Search requests the hosted cloud has served
+	// since it was initialized (one per round trip).
+	SearchCalls uint64 `json:"searchCalls"`
+	// UptimeSeconds is how long the server process has been up.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
 
 // EncodeCloudInit converts an owner's CloudState into its wire form.
@@ -133,21 +142,48 @@ func decodePrimes(raw [][]byte) []*big.Int {
 // only the initialization of the cloud pointer — search traffic from many
 // clients proceeds in parallel and is never serialized by the RPC layer.
 type CloudServer struct {
-	mu    sync.RWMutex // guards the cloud pointer, not the cloud's state
-	cloud *core.Cloud
-	srv   *Server
+	mu      sync.RWMutex // guards the cloud pointer, not the cloud's state
+	cloud   *core.Cloud
+	srv     *Server
+	reg     *obs.Registry // nil until SetObservability; forwarded to the hosted cloud
+	started time.Time
 }
 
 // NewCloudServer creates an un-initialized cloud server; the owner
 // initializes it remotely with MethodCloudInit.
 func NewCloudServer() *CloudServer {
-	cs := &CloudServer{srv: NewServer()}
+	cs := &CloudServer{srv: NewServer(), started: time.Now()}
 	cs.srv.Handle(MethodCloudInit, cs.handleInit)
 	cs.srv.Handle(MethodCloudUpdate, cs.handleUpdate)
 	cs.srv.Handle(MethodCloudSearch, cs.handleSearch)
 	cs.srv.Handle(MethodCloudStats, cs.handleStats)
 	return cs
 }
+
+// SetObservability attaches a metrics registry and/or structured logger:
+// the RPC layer gains per-method and connection series (server="cloud")
+// and the hosted core.Cloud records its search-pipeline phase histograms
+// into the same registry. Either argument may be nil.
+func (cs *CloudServer) SetObservability(reg *obs.Registry, logger *slog.Logger) {
+	cs.srv.SetLogger(logger)
+	if reg == nil {
+		return
+	}
+	cs.srv.SetMetrics(reg, "cloud")
+	reg.GaugeFunc("slicer_cloud_uptime_seconds",
+		"Seconds since the cloud server started.",
+		func() float64 { return time.Since(cs.started).Seconds() })
+	cs.mu.Lock()
+	cs.reg = reg
+	if cs.cloud != nil {
+		cs.cloud.SetMetrics(reg)
+	}
+	cs.mu.Unlock()
+}
+
+// Server exposes the underlying RPC server for transport-level tuning
+// (idle timeout, logger).
+func (cs *CloudServer) Server() *Server { return cs.srv }
 
 // Listen binds the server and returns its address.
 func (cs *CloudServer) Listen(addr string) (string, error) { return cs.srv.Listen(addr) }
@@ -177,6 +213,9 @@ func (cs *CloudServer) Restore(data []byte) error {
 	if cs.cloud != nil {
 		return errors.New("wire: cloud already initialized")
 	}
+	if cs.reg != nil {
+		cloud.SetMetrics(cs.reg)
+	}
 	cs.cloud = cloud
 	return nil
 }
@@ -198,6 +237,9 @@ func (cs *CloudServer) handleInit(params json.RawMessage) (any, error) {
 	defer cs.mu.Unlock()
 	if cs.cloud != nil {
 		return nil, errors.New("wire: cloud already initialized")
+	}
+	if cs.reg != nil {
+		cloud.SetMetrics(cs.reg)
 	}
 	cs.cloud = cloud
 	return map[string]bool{"ok": true}, nil
@@ -249,10 +291,12 @@ func (cs *CloudServer) handleStats(json.RawMessage) (any, error) {
 		return nil, err
 	}
 	return &CloudStats{
-		IndexEntries: cloud.IndexLen(),
-		IndexBytes:   cloud.IndexSizeBytes(),
-		Primes:       cloud.PrimeCount(),
-		ADSBytes:     cloud.ADSSizeBytes(),
+		IndexEntries:  cloud.IndexLen(),
+		IndexBytes:    cloud.IndexSizeBytes(),
+		Primes:        cloud.PrimeCount(),
+		ADSBytes:      cloud.ADSSizeBytes(),
+		SearchCalls:   cloud.SearchCalls(),
+		UptimeSeconds: time.Since(cs.started).Seconds(),
 	}, nil
 }
 

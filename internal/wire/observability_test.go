@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"slicer/internal/obs"
+)
+
+var errTest = errors.New("handler failure")
+
+// TestServerIdleTimeout is the regression test for the stalled-peer leak:
+// a connection that goes quiet past the idle bound is dropped (the
+// goroutine serving it is freed) and counted, while an active connection
+// keeps working across multiple idle windows.
+func TestServerIdleTimeout(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("ping", func(_ json.RawMessage) (any, error) { return "pong", nil })
+	if got := srv.IdleTimeout(); got != DefaultIdleTimeout {
+		t.Fatalf("default idle timeout = %v, want %v", got, DefaultIdleTimeout)
+	}
+	srv.SetIdleTimeout(50 * time.Millisecond)
+	reg := obs.NewRegistry()
+	srv.SetMetrics(reg, "test")
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	// An active client survives several idle windows: each request resets
+	// the deadline.
+	active, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer active.Close()
+	for i := 0; i < 4; i++ {
+		var out string
+		if err := active.Call("ping", nil, &out); err != nil {
+			t.Fatalf("active call %d: %v", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A stalled client is dropped: after the idle window the server closes
+	// the connection, so the next read on the client side fails.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial stalled: %v", err)
+	}
+	defer stalled.Close()
+	buf := make([]byte, 1)
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := stalled.Read(buf); err == nil {
+		t.Fatal("server kept an idle connection past the timeout")
+	}
+
+	dropped := reg.Counter(obs.Label("slicer_rpc_idle_dropped_total", "server", "test"), "")
+	if dropped.Value() == 0 {
+		t.Error("idle drop not counted")
+	}
+
+	// Zero disables the bound entirely.
+	srv.SetIdleTimeout(0)
+	lazy, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial lazy: %v", err)
+	}
+	defer lazy.Close()
+	time.Sleep(120 * time.Millisecond)
+	var out string
+	if err := lazy.Call("ping", nil, &out); err != nil {
+		t.Fatalf("call after long idle with timeout disabled: %v", err)
+	}
+}
+
+// TestServerMetricsAndLogging checks the per-method RPC instruments and
+// the exposition of connection series.
+func TestServerMetricsAndLogging(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("ok", func(_ json.RawMessage) (any, error) { return 1, nil })
+	srv.Handle("boom", func(_ json.RawMessage) (any, error) { return nil, errTest })
+	reg := obs.NewRegistry()
+	srv.SetMetrics(reg, "unit")
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cli.Close()
+	var n int
+	for i := 0; i < 3; i++ {
+		if err := cli.Call("ok", nil, &n); err != nil {
+			t.Fatalf("ok call: %v", err)
+		}
+	}
+	if err := cli.Call("boom", nil, nil); err == nil {
+		t.Fatal("boom call did not error")
+	}
+
+	calls := reg.Counter(obs.Label("slicer_rpc_requests_total", "server", "unit", "method", "ok"), "")
+	if calls.Value() != 3 {
+		t.Errorf("ok calls = %d, want 3", calls.Value())
+	}
+	errs := reg.Counter(obs.Label("slicer_rpc_errors_total", "server", "unit", "method", "boom"), "")
+	if errs.Value() != 1 {
+		t.Errorf("boom errors = %d, want 1", errs.Value())
+	}
+	dur := reg.Histogram(obs.Label("slicer_rpc_request_seconds", "server", "unit", "method", "ok"), "")
+	if dur.Count() != 3 {
+		t.Errorf("ok duration observations = %d, want 3", dur.Count())
+	}
+	conns := reg.Counter(obs.Label("slicer_rpc_connections_total", "server", "unit"), "")
+	if conns.Value() != 1 {
+		t.Errorf("connections = %d, want 1", conns.Value())
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(sb.String(), `slicer_rpc_requests_total{server="unit",method="ok"} 3`) {
+		t.Errorf("exposition missing labeled request counter:\n%s", sb.String())
+	}
+}

@@ -13,13 +13,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"slicer/internal/obs"
 )
 
 // MaxMessageSize bounds a single message (64 MiB) so a malformed peer
 // cannot trigger unbounded allocation.
 const MaxMessageSize = 64 << 20
+
+// DefaultIdleTimeout is how long a server connection may sit idle between
+// requests before it is dropped, freeing the goroutine a stalled or dead
+// peer would otherwise pin forever. Configurable per server with
+// SetIdleTimeout; 0 disables the deadline.
+const DefaultIdleTimeout = 2 * time.Minute
 
 // Request is one framed RPC request.
 type Request struct {
@@ -75,25 +86,109 @@ func ReadMessage(r io.Reader, v any) error {
 // is marshaled into the response.
 type Handler func(params json.RawMessage) (any, error)
 
+// handlerEntry is one registered method with its per-method instruments
+// (nil until SetMetrics attaches a registry).
+type handlerEntry struct {
+	fn    Handler
+	calls *obs.Counter
+	errs  *obs.Counter
+	dur   *obs.Histogram
+}
+
 // Server is a minimal RPC server multiplexing named handlers over TCP.
 type Server struct {
 	mu       sync.Mutex
-	handlers map[string]Handler
+	handlers map[string]*handlerEntry
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
+
+	idleTimeout atomic.Int64 // nanoseconds; 0 disables the read deadline
+	logger      *slog.Logger
+	reg         *obs.Registry
+	subsystem   string
+	connsOpen   *obs.Gauge
+	connsTotal  *obs.Counter
+	idleDropped *obs.Counter
 }
 
-// NewServer creates an empty server.
+// NewServer creates an empty server with the default idle timeout and a
+// no-op logger.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler)}
+	s := &Server{handlers: make(map[string]*handlerEntry), logger: obs.Nop()}
+	s.idleTimeout.Store(int64(DefaultIdleTimeout))
+	return s
+}
+
+// SetLogger installs a structured logger for connection lifecycle events.
+// A nil logger restores the no-op default.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.Nop()
+	}
+	s.mu.Lock()
+	s.logger = l
+	s.mu.Unlock()
+}
+
+func (s *Server) log() *slog.Logger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logger
+}
+
+// SetIdleTimeout bounds how long a connection may sit idle between
+// requests; 0 disables the bound. Takes effect for the next read on every
+// connection, including already-open ones.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.idleTimeout.Store(int64(d))
+}
+
+// IdleTimeout reports the configured idle bound.
+func (s *Server) IdleTimeout() time.Duration { return time.Duration(s.idleTimeout.Load()) }
+
+// SetMetrics attaches an observability registry. subsystem labels every
+// series (e.g. "cloud", "chain") so one registry can host several servers.
+// Methods registered before or after both get per-method instruments.
+func (s *Server) SetMetrics(reg *obs.Registry, subsystem string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	s.subsystem = subsystem
+	s.connsOpen = reg.Gauge(obs.Label("slicer_rpc_connections_open", "server", subsystem),
+		"Currently open RPC connections.")
+	s.connsTotal = reg.Counter(obs.Label("slicer_rpc_connections_total", "server", subsystem),
+		"RPC connections accepted since start.")
+	s.idleDropped = reg.Counter(obs.Label("slicer_rpc_idle_dropped_total", "server", subsystem),
+		"Connections dropped by the idle read deadline.")
+	for method, e := range s.handlers {
+		s.instrument(method, e)
+	}
+}
+
+// instrument resolves one method's instruments. Caller holds s.mu.
+func (s *Server) instrument(method string, e *handlerEntry) {
+	if s.reg == nil {
+		return
+	}
+	e.calls = s.reg.Counter(obs.Label("slicer_rpc_requests_total", "server", s.subsystem, "method", method),
+		"RPC requests served, by method.")
+	e.errs = s.reg.Counter(obs.Label("slicer_rpc_errors_total", "server", s.subsystem, "method", method),
+		"RPC requests that returned an error, by method.")
+	e.dur = s.reg.Histogram(obs.Label("slicer_rpc_request_seconds", "server", s.subsystem, "method", method),
+		"RPC handler latency, by method.")
 }
 
 // Handle registers a method handler.
 func (s *Server) Handle(method string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[method] = h
+	e := &handlerEntry{fn: h}
+	s.instrument(method, e)
+	s.handlers[method] = e
 }
 
 // Listen starts accepting connections on addr ("host:port", empty port
@@ -108,6 +203,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
+	s.log().Info("listening", "addr", ln.Addr().String())
 	return ln.Addr().String(), nil
 }
 
@@ -128,27 +224,56 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	peer := conn.RemoteAddr().String()
+	s.connsTotal.Inc()
+	s.connsOpen.Inc()
+	defer s.connsOpen.Dec()
+	s.log().Debug("connection open", "peer", peer)
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if d := s.IdleTimeout(); d > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+				return
+			}
+		}
 		var req Request
 		if err := ReadMessage(r, &req); err != nil {
-			return // connection closed or corrupted framing
+			var ne net.Error
+			switch {
+			case errors.As(err, &ne) && ne.Timeout():
+				// A stalled or dead peer must not pin this goroutine forever.
+				s.idleDropped.Inc()
+				s.log().Warn("dropping idle connection", "peer", peer, "idleTimeout", s.IdleTimeout())
+			case errors.Is(err, io.EOF):
+				s.log().Debug("connection closed by peer", "peer", peer)
+			default:
+				s.log().Debug("connection read failed", "peer", peer, "err", err)
+			}
+			return // connection closed, idle-expired or corrupted framing
 		}
 		s.mu.Lock()
-		h, ok := s.handlers[req.Method]
+		e, ok := s.handlers[req.Method]
 		s.mu.Unlock()
 		var resp Response
 		if !ok {
 			resp.Error = fmt.Sprintf("unknown method %q", req.Method)
-		} else if result, err := h(req.Params); err != nil {
-			resp.Error = err.Error()
 		} else {
-			body, err := json.Marshal(result)
+			e.calls.Inc()
+			t0 := e.dur.Start()
+			result, err := e.fn(req.Params)
+			e.dur.ObserveSince(t0)
 			if err != nil {
-				resp.Error = fmt.Sprintf("marshal result: %v", err)
+				e.errs.Inc()
+				s.log().Debug("rpc error", "method", req.Method, "peer", peer, "err", err)
+				resp.Error = err.Error()
 			} else {
-				resp.Result = body
+				body, err := json.Marshal(result)
+				if err != nil {
+					resp.Error = fmt.Sprintf("marshal result: %v", err)
+				} else {
+					resp.Result = body
+				}
 			}
 		}
 		if err := WriteMessage(w, &resp); err != nil {

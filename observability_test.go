@@ -1,0 +1,234 @@
+package slicer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"slicer/internal/chain"
+	"slicer/internal/contract"
+	"slicer/internal/core"
+	"slicer/internal/obs"
+	"slicer/internal/wire"
+)
+
+// TestDistributedSearchMetrics is the end-to-end acceptance check for the
+// observability layer: a full distributed fair-exchange search (remote
+// cloud, remote chain, admin endpoint enabled) must leave non-zero phase
+// histograms for the cloud's index walk and witness computation, the
+// client's verification and the chain's settlement on /metrics — and the
+// search output must be exactly what the un-instrumented pipeline returns.
+func TestDistributedSearchMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	adm, err := obs.StartAdmin("127.0.0.1:0", reg, obs.Nop())
+	if err != nil {
+		t.Fatalf("StartAdmin: %v", err)
+	}
+	defer adm.Close()
+
+	cloudSrv := wire.NewCloudServer()
+	cloudSrv.SetObservability(reg, obs.Nop())
+	cloudAddr, err := cloudSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("cloud listen: %v", err)
+	}
+	defer cloudSrv.Close()
+
+	registry := chain.NewRegistry()
+	if err := contract.Register(registry); err != nil {
+		t.Fatal(err)
+	}
+	ownerAcct := chain.AddressFromString("owner")
+	userAcct := chain.AddressFromString("user")
+	cloudAcct := chain.AddressFromString("cloud")
+	validators := []chain.Address{chain.AddressFromString("v0"), chain.AddressFromString("v1")}
+	network, err := chain.NewNetwork(registry, validators, map[chain.Address]uint64{
+		ownerAcct: 1 << 30, userAcct: 1 << 30, cloudAcct: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainSrv := wire.NewChainServer(network)
+	chainSrv.SetObservability(reg, obs.Nop())
+	chainAddr, err := chainSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("chain listen: %v", err)
+	}
+	defer chainSrv.Close()
+
+	owner, err := core.NewOwner(core.Params{Bits: 8, TrapdoorBits: 512, AccumulatorBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := []Record{NewRecord(1, 10), NewRecord(2, 200), NewRecord(3, 30)}
+	built, err := owner.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudCli, err := wire.DialCloud(cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloudCli.Close()
+	if err := cloudCli.Init(owner.CloudInit(built.Index), true); err != nil {
+		t.Fatalf("cloud init: %v", err)
+	}
+	chainCli, err := wire.DialChain(chainAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chainCli.Close()
+	deployRc, err := chainCli.Mine(contract.DeployTx(ownerAcct, 0, owner.AccumulatorPub().Marshal(), owner.Ac(), 50_000_000))
+	if err != nil || !deployRc.Status {
+		t.Fatalf("contract deploy: %v %s", err, deployRc.Err)
+	}
+
+	// Fair-exchange search: escrow, remote search, submit, verify locally.
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := user.Token(Less(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := contract.TokensHash(req.Tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID := chain.HashBytes([]byte("req-0"))
+	nonce, err := chainCli.Nonce(userAcct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc, err := chainCli.Mine(&chain.Transaction{
+		From: userAcct, To: deployRc.ContractAddress, Nonce: nonce, Value: 1000,
+		GasLimit: 1_000_000, Data: contract.RequestData(reqID, cloudAcct, th),
+	}); err != nil || !rc.Status {
+		t.Fatalf("escrow: %v %s", err, rc.Err)
+	}
+	resp, err := cloudCli.Search(req)
+	if err != nil {
+		t.Fatalf("remote search: %v", err)
+	}
+	verifyDur := reg.Histogram(obs.Label("slicer_pipeline_seconds", "phase", "verify"), "")
+	if err := core.VerifyResponseObserved(owner.AccumulatorPub(), owner.Ac(), req, resp, verifyDur, nil); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	submit, err := contract.SubmitData(reqID, owner.AccumulatorPub().Marshal(), owner.Ac(), resp.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, err = chainCli.Nonce(cloudAcct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := chainCli.Mine(&chain.Transaction{
+		From: cloudAcct, To: deployRc.ContractAddress, Nonce: nonce,
+		GasLimit: 50_000_000, Data: submit,
+	})
+	if err != nil || !rc.Status {
+		t.Fatalf("submit: %v %s", err, rc.Err)
+	}
+	if len(rc.ReturnData) != 1 || rc.ReturnData[0] != 1 {
+		t.Fatal("on-chain verification did not settle")
+	}
+	ids, err := user.Decrypt(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(ids), fmt.Sprint([]uint64{1, 3}); got != want {
+		t.Fatalf("search ids = %s, want %s", got, want)
+	}
+
+	// Scrape /metrics over HTTP and assert the phase histograms moved.
+	res, err := http.Get("http://" + adm.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(body)
+	for _, series := range []string{
+		`slicer_cloud_phase_seconds_count{phase="collect"}`,
+		`slicer_cloud_phase_seconds_count{phase="witness"}`,
+		`slicer_pipeline_seconds_count{phase="verify"}`,
+		`slicer_chain_phase_seconds_count{phase="seal"}`,
+		`slicer_rpc_requests_total{server="cloud",method="cloud.search"}`,
+	} {
+		val, ok := seriesValue(exposition, series)
+		if !ok {
+			t.Errorf("series %s missing from /metrics", series)
+			continue
+		}
+		if val == "0" {
+			t.Errorf("series %s is zero after a full search", series)
+		}
+	}
+}
+
+// TestSchemeObservability checks the single-process pipeline: SearchTraced
+// returns the same IDs as Search, records every pipeline phase in the
+// trace, and feeds the phase histograms of the attached registry. Results
+// must be identical with observability on, off, and detached.
+func TestSchemeObservability(t *testing.T) {
+	s, err := NewScheme(Params{Bits: 8, TrapdoorBits: 512, AccumulatorBits: 512},
+		[]Record{NewRecord(1, 5), NewRecord(2, 50), NewRecord(3, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Search(Less(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewMetricsRegistry()
+	s.SetObservability(reg)
+	ids, tr, err := s.SearchTraced(Less(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(ids), fmt.Sprint(plain); got != want {
+		t.Fatalf("instrumented search ids = %s, want %s", got, want)
+	}
+	phases := make(map[string]bool)
+	for _, sp := range tr.Spans() {
+		phases[sp.Phase] = true
+	}
+	for _, want := range []string{"token", "cloud_search", "verify", "decrypt", "cloud.collect", "cloud.witness"} {
+		if !phases[want] {
+			t.Errorf("trace missing phase %q (got %v)", want, tr.Spans())
+		}
+	}
+	if v := reg.Snapshot()["slicer_searches_total"]; v != 1 {
+		t.Errorf("slicer_searches_total = %v, want 1", v)
+	}
+	if v := reg.Snapshot()[`slicer_pipeline_seconds{phase="verify"}/count`]; v != 1 {
+		t.Errorf("verify histogram count = %v, want 1", v)
+	}
+
+	// Detaching restores the un-instrumented pipeline.
+	s.SetObservability(nil)
+	ids, err = s.Search(Less(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(ids), fmt.Sprint(plain); got != want {
+		t.Fatalf("detached search ids = %s, want %s", got, want)
+	}
+}
+
+// seriesValue extracts one sample's value from a text exposition.
+func seriesValue(exposition, series string) (string, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"slicer/internal/core"
+	"slicer/internal/obs"
 	"slicer/internal/store"
 )
 
@@ -56,6 +57,10 @@ type (
 	Cloud = core.Cloud
 	// WitnessMode selects the cloud's VO generation strategy.
 	WitnessMode = core.WitnessMode
+	// MetricsRegistry is the observability registry (see SetObservability).
+	MetricsRegistry = obs.Registry
+	// SearchTrace is a per-request span trace (see SearchTraced).
+	SearchTrace = obs.Trace
 )
 
 // Query operators.
@@ -86,6 +91,9 @@ var (
 	NewOwner = core.NewOwner
 	NewUser  = core.NewUser
 	NewCloud = core.NewCloud
+	// NewMetricsRegistry creates an observability registry to attach with
+	// Scheme.SetObservability / Deployment.SetObservability.
+	NewMetricsRegistry = obs.NewRegistry
 )
 
 // Scheme is a single-process Slicer deployment: owner, one user and one
@@ -95,6 +103,48 @@ type Scheme struct {
 	owner *core.Owner
 	user  *core.User
 	cloud *core.Cloud
+	met   schemeMetrics
+}
+
+// schemeMetrics are the client-pipeline instruments (token generation,
+// cloud round trip, verification, decryption). The zero value is the
+// disabled state — every instrument is nil-safe.
+type schemeMetrics struct {
+	searches   *obs.Counter
+	ranges     *obs.Counter
+	conj       *obs.Counter
+	roundTrips *obs.Counter
+	token      *obs.Histogram
+	search     *obs.Histogram
+	verify     *obs.Histogram
+	decrypt    *obs.Histogram
+}
+
+func newSchemeMetrics(reg *obs.Registry) schemeMetrics {
+	if reg == nil {
+		return schemeMetrics{}
+	}
+	const phaseHelp = "Latency of one client search-pipeline phase, by phase."
+	return schemeMetrics{
+		searches:   reg.Counter("slicer_searches_total", "Verified searches run through the pipeline."),
+		ranges:     reg.Counter("slicer_range_searches_total", "Range searches run."),
+		conj:       reg.Counter("slicer_conjunctive_searches_total", "Conjunctive searches run."),
+		roundTrips: reg.Counter("slicer_cloud_round_trips_total", "Cloud search round trips issued."),
+		token:      reg.Histogram(obs.Label("slicer_pipeline_seconds", "phase", "token"), phaseHelp),
+		search:     reg.Histogram(obs.Label("slicer_pipeline_seconds", "phase", "cloud_search"), phaseHelp),
+		verify:     reg.Histogram(obs.Label("slicer_pipeline_seconds", "phase", "verify"), phaseHelp),
+		decrypt:    reg.Histogram(obs.Label("slicer_pipeline_seconds", "phase", "decrypt"), phaseHelp),
+	}
+}
+
+// SetObservability attaches a metrics registry to the scheme: the client
+// pipeline records per-phase latency histograms (token generation, cloud
+// round trip, verification, decryption) and the in-process cloud records
+// its own phase histograms into the same registry. A nil registry
+// detaches. Observability never changes any search output.
+func (s *Scheme) SetObservability(reg *obs.Registry) {
+	s.met = newSchemeMetrics(reg)
+	s.cloud.SetMetrics(reg)
 }
 
 // NewScheme creates a deployment over an initial database.
@@ -150,18 +200,46 @@ func (s *Scheme) Insert(records []Record) error {
 // cloud search, verification (Algorithm 5) against the owner's current Ac,
 // and decryption. It returns the matching record IDs.
 func (s *Scheme) Search(q Query) ([]uint64, error) {
+	return s.searchObserved(q, nil)
+}
+
+// SearchTraced runs Search while recording a per-request span trace of
+// every pipeline phase — client token generation, the cloud's per-token
+// index walk and witness computation, verification and decryption. The
+// trace is returned alongside the results for dumping (Trace.WriteText)
+// or structured export; phase latencies also land in the registry
+// attached with SetObservability, if any.
+func (s *Scheme) SearchTraced(q Query) ([]uint64, *SearchTrace, error) {
+	tr := obs.NewTrace("search")
+	ids, err := s.searchObserved(q, tr)
+	return ids, tr, err
+}
+
+func (s *Scheme) searchObserved(q Query, tr *obs.Trace) ([]uint64, error) {
+	s.met.searches.Inc()
+	done := obs.StartPhase(s.met.token, tr, "token")
 	req, err := s.user.Token(q)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := s.cloud.Search(req)
+	done()
+	s.met.roundTrips.Inc()
+	done = obs.StartPhase(s.met.search, tr, "cloud_search")
+	resp, err := s.cloud.SearchTraced(req, tr)
 	if err != nil {
 		return nil, err
 	}
-	if err := core.VerifyResponse(s.owner.AccumulatorPub(), s.owner.Ac(), req, resp); err != nil {
+	done()
+	if err := core.VerifyResponseObserved(s.owner.AccumulatorPub(), s.owner.Ac(), req, resp, s.met.verify, tr); err != nil {
 		return nil, err
 	}
-	return s.user.Decrypt(resp)
+	done = obs.StartPhase(s.met.decrypt, tr, "decrypt")
+	ids, err := s.user.Decrypt(resp)
+	if err != nil {
+		return nil, err
+	}
+	done()
+	return ids, nil
 }
 
 // RangeSearch returns the IDs of records whose attribute value lies in the
@@ -180,6 +258,7 @@ func (s *Scheme) RangeSearch(attr string, lo, hi uint64) ([]uint64, error) {
 	if lo > hi {
 		return nil, fmt.Errorf("slicer: empty range [%d,%d]", lo, hi)
 	}
+	s.met.ranges.Inc()
 	if s.owner.Params().PrefixIndex {
 		return s.prefixRangeSearch(attr, lo, hi)
 	}
@@ -233,11 +312,14 @@ func (s *Scheme) searchPair(a, b Query, combine func(x, y []uint64) []uint64) ([
 	merged := &SearchRequest{Tokens: make([]SearchToken, 0, len(reqA.Tokens)+len(reqB.Tokens))}
 	merged.Tokens = append(merged.Tokens, reqA.Tokens...)
 	merged.Tokens = append(merged.Tokens, reqB.Tokens...)
+	s.met.roundTrips.Inc()
+	t0 := s.met.search.Start()
 	resp, err := s.cloud.Search(merged)
 	if err != nil {
 		return nil, err
 	}
-	if err := core.VerifyResponse(s.owner.AccumulatorPub(), s.owner.Ac(), merged, resp); err != nil {
+	s.met.search.ObserveSince(t0)
+	if err := core.VerifyResponseObserved(s.owner.AccumulatorPub(), s.owner.Ac(), merged, resp, s.met.verify, nil); err != nil {
 		return nil, err
 	}
 	split := len(reqA.Tokens)
@@ -254,18 +336,29 @@ func (s *Scheme) searchPair(a, b Query, combine func(x, y []uint64) []uint64) ([
 
 // prefixRangeSearch answers [lo, hi] through the prefix-cover index.
 func (s *Scheme) prefixRangeSearch(attr string, lo, hi uint64) ([]uint64, error) {
+	done := obs.StartPhase(s.met.token, nil, "token")
 	req, err := s.user.RangeTokens(attr, lo, hi)
 	if err != nil {
 		return nil, err
 	}
+	done()
+	s.met.roundTrips.Inc()
+	t0 := s.met.search.Start()
 	resp, err := s.cloud.Search(req)
 	if err != nil {
 		return nil, err
 	}
-	if err := core.VerifyResponse(s.owner.AccumulatorPub(), s.owner.Ac(), req, resp); err != nil {
+	s.met.search.ObserveSince(t0)
+	if err := core.VerifyResponseObserved(s.owner.AccumulatorPub(), s.owner.Ac(), req, resp, s.met.verify, nil); err != nil {
 		return nil, err
 	}
-	return s.user.Decrypt(resp)
+	t0 = s.met.decrypt.Start()
+	ids, err := s.user.Decrypt(resp)
+	if err != nil {
+		return nil, err
+	}
+	s.met.decrypt.ObserveSince(t0)
+	return ids, nil
 }
 
 // Condition is one attribute condition of a conjunctive search.
@@ -297,6 +390,7 @@ func (s *Scheme) ConjunctiveSearch(conds []Condition) ([]uint64, error) {
 	if len(conds) == 0 {
 		return nil, fmt.Errorf("slicer: conjunctive search needs at least one condition")
 	}
+	s.met.conj.Inc()
 	results := make([][]uint64, len(conds))
 	errs := make([]error, len(conds))
 	var wg sync.WaitGroup

@@ -40,6 +40,9 @@ func run() error {
 		listFlag   = flag.Bool("list", false, "list experiment IDs and exit")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		obsFlag    = flag.Bool("obs", false, "attach a metrics registry and print each experiment's instrument delta as JSON")
+		artifact   = flag.String("artifact", "", "write a machine-readable run record (BENCH_<scale>.json) to this path")
+		baseline   = flag.String("baseline", "", "compare against a previous artifact; exit non-zero on >-max-regression slowdowns")
+		maxRegress = flag.Float64("max-regression", 2.0, "allowed wall-time factor vs -baseline before failing")
 	)
 	flag.Parse()
 	var render func(*bench.Table)
@@ -93,6 +96,7 @@ func run() error {
 	}
 
 	fmt.Printf("slicer-bench: %d experiment(s) at %s scale\n\n", len(selected), scale.Name)
+	record := bench.NewArtifact(scale.Name)
 	start := time.Now()
 	for _, e := range selected {
 		expStart := time.Now()
@@ -105,18 +109,43 @@ func run() error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		render(table)
+		var delta map[string]float64
 		if reg != nil {
-			delta := obs.Delta(before, reg.Snapshot())
+			delta = obs.Delta(before, reg.Snapshot())
 			blob, err := json.Marshal(map[string]any{"experiment": e.ID, "delta": delta})
 			if err != nil {
 				return err
 			}
 			fmt.Printf("obs %s\n", blob)
 		}
+		record.Add(e, table, time.Since(expStart), delta)
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "  [%s done in %s]\n", e.ID, time.Since(expStart).Round(time.Millisecond))
 		}
 	}
-	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+	total := time.Since(start)
+	record.TotalMs = float64(total) / float64(time.Millisecond)
+	fmt.Printf("total: %s\n", total.Round(time.Millisecond))
+
+	if *artifact != "" {
+		if err := record.WriteFile(*artifact); err != nil {
+			return fmt.Errorf("write artifact: %w", err)
+		}
+		fmt.Printf("artifact written to %s (commit %s)\n", *artifact, record.GitSHA)
+	}
+	if *baseline != "" {
+		base, err := bench.LoadArtifact(*baseline)
+		if err != nil {
+			return fmt.Errorf("load baseline: %w", err)
+		}
+		if regs := bench.Compare(base, record, *maxRegress); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "REGRESSION", r)
+			}
+			return fmt.Errorf("%d experiment(s) regressed more than %.1fx vs %s", len(regs), *maxRegress, *baseline)
+		}
+		fmt.Printf("no regression > %.1fx vs %s (%d comparable experiments)\n",
+			*maxRegress, *baseline, len(base.Experiments))
+	}
 	return nil
 }

@@ -36,10 +36,12 @@ func run() error {
 		fund       = flag.String("fund", "owner,user,cloud", "comma-separated account names to pre-fund")
 		balance    = flag.Uint64("balance", 1<<40, "genesis balance per funded account")
 		snapshot   = flag.String("snapshot", "", "path for chain persistence: replayed at boot if present, written at shutdown")
-		admin      = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz and /debug/pprof")
+		admin      = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log format: text or json")
 		idle       = flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections idle longer than this; 0 disables")
+		traceCap   = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "how many recent propagated traces to retain for /debug/traces")
+		traceSmpl  = flag.Int("trace-sample", 1, "retain 1 of every N propagated traces (slow outliers always kept)")
 	)
 	flag.Parse()
 	if *validators < 1 {
@@ -103,8 +105,10 @@ func run() error {
 	srv := wire.NewChainServer(network)
 	srv.SetObservability(reg, logger)
 	srv.Server().SetIdleTimeout(*idle)
+	srv.Traces().SetCapacity(*traceCap)
+	srv.Traces().SetSampling(*traceSmpl)
 	if *admin != "" {
-		adm, err := obs.StartAdmin(*admin, reg, logger)
+		adm, err := obs.StartAdmin(*admin, reg, srv.Traces(), logger)
 		if err != nil {
 			return fmt.Errorf("admin endpoint: %w", err)
 		}

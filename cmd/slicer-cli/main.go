@@ -70,10 +70,19 @@ func run(args []string) error {
 	}
 }
 
-func commonFlags(fs *flag.FlagSet) (statePath, cloudAddr, chainAddr *string) {
+func commonFlags(fs *flag.FlagSet) (statePath, cloudAddr, chainAddr *string, opts func() wire.ClientOptions) {
 	statePath = fs.String("state", "slicer-state.json", "path of the persisted deployment state")
 	cloudAddr = fs.String("cloud", "127.0.0.1:7401", "cloud server address")
 	chainAddr = fs.String("chain", "127.0.0.1:7402", "chain server address")
+	dialTO := fs.Duration("dial-timeout", wire.DefaultDialTimeout, "timeout for connecting to a server")
+	callTO := fs.Duration("call-timeout", wire.DefaultCallTimeout, "per-RPC deadline; 0 or negative disables")
+	opts = func() wire.ClientOptions {
+		o := wire.ClientOptions{DialTimeout: *dialTO, CallTimeout: *callTO}
+		if *callTO <= 0 {
+			o.CallTimeout = -1
+		}
+		return o
+	}
 	return
 }
 
@@ -134,7 +143,7 @@ func parseRecords(random int, bits int, values string, firstSeed int64) ([]core.
 
 func cmdInit(args []string) error {
 	fs := flag.NewFlagSet("init", flag.ContinueOnError)
-	statePath, cloudAddr, chainAddr := commonFlags(fs)
+	statePath, cloudAddr, chainAddr, dialOpts := commonFlags(fs)
 	bits := fs.Int("bits", 16, "value bit width")
 	random := fs.Int("random", 0, "generate N random records")
 	values := fs.String("values", "", "explicit records: id=value,id=value,...")
@@ -168,7 +177,7 @@ func cmdInit(args []string) error {
 	fmt.Printf("built encrypted index over %d records (%d index entries, %d keywords)\n",
 		len(db), built.Index.Len(), len(built.Primes))
 
-	cloud, err := wire.DialCloud(*cloudAddr)
+	cloud, err := wire.DialCloudOpts(*cloudAddr, dialOpts())
 	if err != nil {
 		return err
 	}
@@ -178,7 +187,7 @@ func cmdInit(args []string) error {
 	}
 	fmt.Printf("cloud %s initialized\n", *cloudAddr)
 
-	chainCli, err := wire.DialChain(*chainAddr)
+	chainCli, err := wire.DialChainOpts(*chainAddr, dialOpts())
 	if err != nil {
 		return err
 	}
@@ -218,7 +227,7 @@ func cmdInit(args []string) error {
 
 func cmdInsert(args []string) error {
 	fs := flag.NewFlagSet("insert", flag.ContinueOnError)
-	statePath, _, _ := commonFlags(fs)
+	statePath, _, _, dialOpts := commonFlags(fs)
 	random := fs.Int("random", 0, "generate N random records")
 	values := fs.String("values", "", "explicit records: id=value,...")
 	mkLogger := logFlags(fs)
@@ -247,7 +256,7 @@ func cmdInsert(args []string) error {
 	}
 	logger.Debug("delta built", "records", len(records))
 
-	cloud, err := wire.DialCloud(st.CloudAddr)
+	cloud, err := wire.DialCloudOpts(st.CloudAddr, dialOpts())
 	if err != nil {
 		return err
 	}
@@ -256,7 +265,7 @@ func cmdInsert(args []string) error {
 		return fmt.Errorf("ship delta to cloud: %w", err)
 	}
 
-	chainCli, err := wire.DialChain(st.ChainAddr)
+	chainCli, err := wire.DialChainOpts(st.ChainAddr, dialOpts())
 	if err != nil {
 		return err
 	}
@@ -287,13 +296,13 @@ func cmdInsert(args []string) error {
 
 func cmdSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ContinueOnError)
-	statePath, _, _ := commonFlags(fs)
+	statePath, _, _, dialOpts := commonFlags(fs)
 	opFlag := fs.String("op", "=", "operator: '=', '<' or '>'")
 	value := fs.Uint64("value", 0, "query value")
 	rangeFlag := fs.String("range", "", "inclusive range 'lo:hi' (needs init -prefix-index); overrides -op/-value")
 	attr := fs.String("attr", "", "attribute name (empty for single-attribute data)")
 	pay := fs.Uint64("pay", 1000, "search fee to escrow")
-	trace := fs.Bool("trace", false, "print a per-phase trace of the search after the results")
+	trace := fs.Bool("trace", false, "print the merged cross-machine trace of the search after the results")
 	mkLogger := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -365,7 +374,7 @@ func cmdSearch(args []string) error {
 	logger.Debug("tokens generated", "query", queryDesc, "tokens", len(req.Tokens))
 	fmt.Printf("query %s -> %d search tokens\n", queryDesc, len(req.Tokens))
 
-	chainCli, err := wire.DialChain(st.ChainAddr)
+	chainCli, err := wire.DialChainOpts(st.ChainAddr, dialOpts())
 	if err != nil {
 		return err
 	}
@@ -383,10 +392,10 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	endEscrow := tr.Span("escrow")
-	rc, err := chainCli.Mine(&chain.Transaction{
+	rc, err := chainCli.MineTraced(&chain.Transaction{
 		From: st.UserAcct, To: st.ContractAddr, Nonce: nonce, Value: *pay,
 		GasLimit: 1_000_000, Data: contract.RequestData(reqID, st.CloudAcct, th),
-	})
+	}, tr)
 	if err != nil {
 		return err
 	}
@@ -397,13 +406,13 @@ func cmdSearch(args []string) error {
 	logger.Debug("payment escrowed", "fee", *pay, "gas", rc.GasUsed)
 	fmt.Printf("escrowed %d on chain (request %x...)\n", *pay, reqID[:6])
 
-	cloud, err := wire.DialCloud(st.CloudAddr)
+	cloud, err := wire.DialCloudOpts(st.CloudAddr, dialOpts())
 	if err != nil {
 		return err
 	}
 	defer cloud.Close()
 	endSearch := tr.Span("cloud_search")
-	resp, err := cloud.Search(req)
+	resp, err := cloud.SearchTraced(req, tr)
 	if err != nil {
 		return fmt.Errorf("cloud search: %w", err)
 	}
@@ -419,10 +428,10 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	endSettle := tr.Span("settle")
-	rc, err = chainCli.Mine(&chain.Transaction{
+	rc, err = chainCli.MineTraced(&chain.Transaction{
 		From: st.CloudAcct, To: st.ContractAddr, Nonce: nonce,
 		GasLimit: 50_000_000, Data: submit,
-	})
+	}, tr)
 	if err != nil {
 		return err
 	}
@@ -449,7 +458,7 @@ func cmdSearch(args []string) error {
 
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ContinueOnError)
-	statePath, _, _ := commonFlags(fs)
+	statePath, _, _, dialOpts := commonFlags(fs)
 	mkLogger := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -461,7 +470,7 @@ func cmdStatus(args []string) error {
 	if err != nil {
 		return err
 	}
-	cloud, err := wire.DialCloud(st.CloudAddr)
+	cloud, err := wire.DialCloudOpts(st.CloudAddr, dialOpts())
 	if err != nil {
 		return err
 	}
@@ -474,7 +483,7 @@ func cmdStatus(args []string) error {
 		st.CloudAddr, stats.IndexEntries, stats.IndexBytes, stats.Primes, stats.ADSBytes)
 	fmt.Printf("  served %d searches, up %.0fs\n", stats.SearchCalls, stats.UptimeSeconds)
 
-	chainCli, err := wire.DialChain(st.ChainAddr)
+	chainCli, err := wire.DialChainOpts(st.ChainAddr, dialOpts())
 	if err != nil {
 		return err
 	}

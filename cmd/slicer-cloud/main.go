@@ -31,10 +31,12 @@ func main() {
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:7401", "address to listen on")
 	state := flag.String("state", "", "path for cloud persistence: restored at boot if present, written at shutdown")
-	admin := flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz and /debug/pprof")
+	admin := flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	idle := flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections idle longer than this; 0 disables")
+	traceCap := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "how many recent propagated traces to retain for /debug/traces")
+	traceSample := flag.Int("trace-sample", 1, "retain 1 of every N propagated traces (slow outliers always kept)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -46,8 +48,10 @@ func run() error {
 	srv := wire.NewCloudServer()
 	srv.SetObservability(reg, logger)
 	srv.Server().SetIdleTimeout(*idle)
+	srv.Traces().SetCapacity(*traceCap)
+	srv.Traces().SetSampling(*traceSample)
 	if *admin != "" {
-		adm, err := obs.StartAdmin(*admin, reg, logger)
+		adm, err := obs.StartAdmin(*admin, reg, srv.Traces(), logger)
 		if err != nil {
 			return fmt.Errorf("admin endpoint: %w", err)
 		}

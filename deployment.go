@@ -191,12 +191,23 @@ func (d *Deployment) DeployGas() uint64 { return d.deployGas }
 // mine submits a transaction to every node, seals the next block and
 // returns the receipt.
 func (d *Deployment) mine(tx *chain.Transaction) (*Receipt, error) {
+	return d.mineTraced(tx, nil)
+}
+
+// mineTraced is mine with the chain's admission and sealing phases recorded
+// into an optional trace — the same span names a remote chain server
+// reports, so in-process and distributed traces read alike.
+func (d *Deployment) mineTraced(tx *chain.Transaction, tr *obs.Trace) (*Receipt, error) {
+	endSubmit := tr.Span("chain.submit")
 	if err := d.network.SubmitTx(tx); err != nil {
 		return nil, err
 	}
+	endSubmit()
+	endSeal := tr.Span("chain.seal")
 	if _, err := d.network.Step(); err != nil {
 		return nil, err
 	}
+	endSeal()
 	r, ok := d.network.Leader().Receipt(tx.Hash())
 	if !ok {
 		return nil, fmt.Errorf("slicer: receipt missing for %s", tx.Hash())
@@ -321,7 +332,25 @@ func (d *Deployment) VerifiedSearch(q Query, payment uint64) (*SearchOutcome, er
 	if err != nil {
 		return nil, err
 	}
-	return d.verifiedRequest(req, payment)
+	return d.verifiedRequest(req, payment, nil)
+}
+
+// VerifiedSearchTraced runs VerifiedSearch while recording a per-request
+// span trace of every fair-exchange phase — token generation, escrow
+// mining, the cloud's collect/witness work, on-chain settlement (the
+// "chain.seal" span is the block execution that includes the contract's
+// verification) and decryption. The trace is returned even when the search
+// fails, so partial latency is still attributable.
+func (d *Deployment) VerifiedSearchTraced(q Query, payment uint64) (*SearchOutcome, *SearchTrace, error) {
+	tr := obs.NewTrace("fair-exchange search")
+	endToken := tr.Span("token")
+	req, err := d.user.Token(q)
+	if err != nil {
+		return nil, tr, err
+	}
+	endToken()
+	out, err := d.verifiedRequest(req, payment, tr)
+	return out, tr, err
 }
 
 // VerifiedRangeSearch runs the fair-exchange flow for an inclusive range
@@ -332,10 +361,10 @@ func (d *Deployment) VerifiedRangeSearch(attr string, lo, hi uint64, payment uin
 	if err != nil {
 		return nil, err
 	}
-	return d.verifiedRequest(req, payment)
+	return d.verifiedRequest(req, payment, nil)
 }
 
-func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64) (*SearchOutcome, error) {
+func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64, tr *obs.Trace) (*SearchOutcome, error) {
 	d.met.searches.Inc()
 	th, err := contract.TokensHash(req.Tokens)
 	if err != nil {
@@ -346,29 +375,29 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64) (*Searc
 		return nil, fmt.Errorf("slicer: sample request id: %w", err)
 	}
 
-	t0 := d.met.escrow.Start()
-	r, err := d.mine(&chain.Transaction{
+	endEscrow := obs.StartPhase(d.met.escrow, tr, "escrow")
+	r, err := d.mineTraced(&chain.Transaction{
 		From:     d.UserAddr,
 		To:       d.contractAddr,
 		Nonce:    d.nonce(d.UserAddr),
 		Value:    payment,
 		GasLimit: 1_000_000,
 		Data:     contract.RequestData(reqID, d.CloudAddr, th),
-	})
+	}, tr)
 	if err != nil {
 		return nil, err
 	}
 	if !r.Status {
 		return nil, fmt.Errorf("slicer: search request reverted: %s", r.Err)
 	}
-	d.met.escrow.ObserveSince(t0)
+	endEscrow()
 
-	t0 = d.met.search.Start()
-	resp, err := d.cloud.Search(req)
+	endSearch := obs.StartPhase(d.met.search, tr, "cloud_search")
+	resp, err := d.cloud.SearchTraced(req, tr)
 	if err != nil {
 		return nil, err
 	}
-	d.met.search.ObserveSince(t0)
+	endSearch()
 	if d.tamper != nil {
 		d.tamper(resp)
 	}
@@ -376,33 +405,33 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64) (*Searc
 	if err != nil {
 		return nil, err
 	}
-	t0 = d.met.settle.Start()
-	r, err = d.mine(&chain.Transaction{
+	endSettle := obs.StartPhase(d.met.settle, tr, "settle")
+	r, err = d.mineTraced(&chain.Transaction{
 		From:     d.CloudAddr,
 		To:       d.contractAddr,
 		Nonce:    d.nonce(d.CloudAddr),
 		GasLimit: 50_000_000,
 		Data:     data,
-	})
+	}, tr)
 	if err != nil {
 		return nil, err
 	}
 	if !r.Status {
 		return nil, fmt.Errorf("slicer: result submission reverted: %s", r.Err)
 	}
-	d.met.settle.ObserveSince(t0)
+	endSettle()
 	d.met.gas.Add(r.GasUsed)
 
 	outcome := &SearchOutcome{RequestID: reqID, GasUsed: r.GasUsed}
 	if len(r.ReturnData) == 1 && r.ReturnData[0] == 1 {
 		d.met.settled.Inc()
 		outcome.Settled = true
-		t0 = d.met.decrypt.Start()
+		endDecrypt := obs.StartPhase(d.met.decrypt, tr, "decrypt")
 		ids, err := d.user.Decrypt(resp)
 		if err != nil {
 			return nil, err
 		}
-		d.met.decrypt.ObserveSince(t0)
+		endDecrypt()
 		outcome.IDs = ids
 	} else {
 		d.met.refunded.Inc()

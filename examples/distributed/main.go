@@ -42,12 +42,6 @@ func run() error {
 		if logger, err = obs.NewLogger(os.Stderr, "info", "text"); err != nil {
 			return err
 		}
-		adm, err := obs.StartAdmin(*admin, reg, logger)
-		if err != nil {
-			return err
-		}
-		defer adm.Close()
-		fmt.Printf("admin endpoint: http://%s/metrics\n", adm.Addr())
 	}
 	verifyDur := reg.Histogram(obs.Label("slicer_pipeline_seconds", "phase", "verify"),
 		"Latency of one client search-pipeline phase, by phase.")
@@ -60,6 +54,16 @@ func run() error {
 		return err
 	}
 	defer cloudSrv.Close()
+	if *admin != "" {
+		// The admin endpoint serves the cloud's trace store: propagated
+		// traces land there as searches arrive (GET /debug/traces).
+		adm, err := obs.StartAdmin(*admin, reg, cloudSrv.Traces(), logger)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint: http://%s/metrics\n", adm.Addr())
+	}
 
 	registry := chain.NewRegistry()
 	if err := contract.Register(registry); err != nil {
@@ -156,19 +160,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// One trace follows the whole fair exchange across all three machines:
+	// remote spans come back in the RPC responses and are spliced in.
+	tr := obs.NewTrace("distributed verified search")
 	const fee = 2500
-	if rc, err := chainCli.Mine(&chain.Transaction{
+	endEscrow := tr.Span("escrow")
+	if rc, err := chainCli.MineTraced(&chain.Transaction{
 		From: userAcct, To: contractAddr, Nonce: nonce, Value: fee,
 		GasLimit: 1_000_000, Data: contract.RequestData(reqID, cloudAcct, th),
-	}); err != nil || !rc.Status {
+	}, tr); err != nil || !rc.Status {
 		return fmt.Errorf("escrow request failed: %v %s", err, rc.Err)
 	}
+	endEscrow()
 	fmt.Printf("user escrowed %d for query 'value < 1000' (%d tokens)\n", fee, len(req.Tokens))
 
-	resp, err := cloudCli.Search(req)
+	endSearch := tr.Span("cloud_search")
+	resp, err := cloudCli.SearchTraced(req, tr)
 	if err != nil {
 		return fmt.Errorf("remote search: %w", err)
 	}
+	endSearch()
 	submit, err := contract.SubmitData(reqID, owner.AccumulatorPub().Marshal(), owner.Ac(), resp.Results)
 	if err != nil {
 		return err
@@ -177,23 +188,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	rc, err := chainCli.Mine(&chain.Transaction{
+	endSettle := tr.Span("settle")
+	rc, err := chainCli.MineTraced(&chain.Transaction{
 		From: cloudAcct, To: contractAddr, Nonce: nonce,
 		GasLimit: 50_000_000, Data: submit,
-	})
+	}, tr)
 	if err != nil {
 		return err
 	}
 	if !rc.Status {
 		return fmt.Errorf("submission reverted: %s", rc.Err)
 	}
+	endSettle()
 	settled := len(rc.ReturnData) == 1 && rc.ReturnData[0] == 1
 	fmt.Printf("cloud submitted results; on-chain verification settled=%v (gas %d)\n", settled, rc.GasUsed)
+	endDecrypt := tr.Span("decrypt")
 	ids, err := user.Decrypt(resp)
 	if err != nil {
 		return err
 	}
+	endDecrypt()
 	fmt.Println("decrypted matching record IDs:", ids)
+
+	fmt.Println("\nmerged cross-machine trace (party column: who measured the span):")
+	_ = tr.WriteText(os.Stdout)
 
 	// --- Owner: forward-secure insert shipped over the wire ---
 	up, err := owner.Insert([]slicer.Record{slicer.NewRecord(6, 640)})

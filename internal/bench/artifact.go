@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Artifact is the machine-readable record of one slicer-bench run
+// (BENCH_<scale>.json): enough provenance to pin the numbers to a commit
+// and enough data to compare two runs without re-parsing text tables.
+type Artifact struct {
+	Scale       string             `json:"scale"`
+	GitSHA      string             `json:"gitSha"`
+	GoVersion   string             `json:"goVersion"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	Timestamp   string             `json:"timestamp"` // RFC 3339, UTC
+	TotalMs     float64            `json:"totalMs"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ExperimentResult is one experiment's contribution to an Artifact.
+type ExperimentResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	WallMs  float64            `json:"wallMs"`
+	Headers []string           `json:"headers,omitempty"`
+	Rows    [][]string         `json:"rows,omitempty"`
+	Notes   []string           `json:"notes,omitempty"`
+	Delta   map[string]float64 `json:"delta,omitempty"`
+}
+
+// NewArtifact stamps provenance (git SHA, toolchain, time) for a run at the
+// given scale. Experiments are appended by the caller as they complete.
+func NewArtifact(scale string) *Artifact {
+	return &Artifact{
+		Scale:     scale,
+		GitSHA:    gitSHA(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Add records one finished experiment.
+func (a *Artifact) Add(e Experiment, t *Table, wall time.Duration, delta map[string]float64) {
+	a.Experiments = append(a.Experiments, ExperimentResult{
+		ID:      e.ID,
+		Title:   e.Title,
+		WallMs:  float64(wall) / float64(time.Millisecond),
+		Headers: t.Headers,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+		Delta:   delta,
+	})
+}
+
+// WriteFile persists the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact written by WriteFile.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("parse artifact %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// CompareNoiseFloorMs is the wall time below which Compare ignores ratio
+// regressions: sub-25ms experiments are dominated by scheduler noise.
+const CompareNoiseFloorMs = 25
+
+// Compare reports experiments in cur that ran more than factor times slower
+// than the same experiment in base (and above the noise floor). Experiments
+// present in only one artifact are skipped — adding or retiring an
+// experiment is not a regression.
+func Compare(base, cur *Artifact, factor float64) []string {
+	baseline := make(map[string]float64, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseline[e.ID] = e.WallMs
+	}
+	var regressions []string
+	for _, e := range cur.Experiments {
+		was, ok := baseline[e.ID]
+		if !ok || e.WallMs <= CompareNoiseFloorMs {
+			continue
+		}
+		if was > 0 && e.WallMs > was*factor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1fms vs baseline %.1fms (%.2fx > %.2fx allowed)",
+					e.ID, e.WallMs, was, e.WallMs/was, factor))
+		}
+	}
+	return regressions
+}
+
+// gitSHA resolves the commit being measured: the VCS stamp baked into the
+// binary when built from a checkout, else a direct `git rev-parse`, else
+// "unknown" (e.g. a source tarball).
+func gitSHA() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	return "unknown"
+}

@@ -12,11 +12,12 @@ import (
 )
 
 // Admin is the opt-in operational HTTP server the long-running binaries
-// expose behind -admin: Prometheus metrics, a liveness probe, expvar, and
-// the full net/http/pprof surface.
+// expose behind -admin: Prometheus metrics, a liveness probe, expvar, the
+// trace store, and the full net/http/pprof surface.
 //
 //	GET /metrics              Prometheus text exposition (add ?format=json for JSON)
 //	GET /healthz              "ok" + uptime
+//	GET /debug/traces         retained traces as JSON; ?id=<traceId> renders one as text
 //	GET /debug/vars           expvar JSON
 //	GET /debug/pprof/...      pprof index, profiles, symbol, trace
 type Admin struct {
@@ -26,8 +27,9 @@ type Admin struct {
 }
 
 // StartAdmin binds addr (":0" picks a free port) and serves the admin
-// endpoints for reg in a background goroutine. logger may be nil.
-func StartAdmin(addr string, reg *Registry, logger *slog.Logger) (*Admin, error) {
+// endpoints for reg in a background goroutine. traces may be nil (the
+// /debug/traces endpoint then reports an empty store); logger may be nil.
+func StartAdmin(addr string, reg *Registry, traces *TraceStore, logger *slog.Logger) (*Admin, error) {
 	if logger == nil {
 		logger = Nop()
 	}
@@ -62,6 +64,24 @@ func StartAdmin(addr string, reg *Registry, logger *slog.Logger) (*Admin, error)
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("id"); id != "" {
+			st, ok := traces.Get(id)
+			if !ok {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = st.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if traces == nil {
+			fmt.Fprintln(w, `{"seen":0,"sampling":1,"recent":[],"slowest":[]}`)
+			return
+		}
+		_ = traces.WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -108,7 +108,12 @@ func TestNewLogger(t *testing.T) {
 func TestAdminEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("demo_total", "A demo counter.").Add(9)
-	a, err := StartAdmin("127.0.0.1:0", reg, Nop())
+	store := NewTraceStore(8)
+	demo := NewTrace("admin-demo")
+	endSpan := demo.Span("phase-a")
+	endSpan()
+	store.Record(demo)
+	a, err := StartAdmin("127.0.0.1:0", reg, store, Nop())
 	if err != nil {
 		t.Fatalf("StartAdmin: %v", err)
 	}
@@ -146,5 +151,16 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
 		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, body := get("/debug/traces"); code != 200 || !json.Valid([]byte(body)) ||
+		!strings.Contains(body, demo.ID()) {
+		t.Errorf("/debug/traces = %d %q", code, body)
+	}
+	if code, body := get("/debug/traces?id=" + demo.ID()); code != 200 ||
+		!strings.Contains(body, "admin-demo") || !strings.Contains(body, "phase-a") {
+		t.Errorf("/debug/traces?id = %d %q", code, body)
+	}
+	if code, _ := get("/debug/traces?id=doesnotexist"); code != 404 {
+		t.Errorf("missing trace id = %d, want 404", code)
 	}
 }

@@ -1,35 +1,50 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 )
 
-// Trace collects the spans of one request as it crosses pipeline phases.
-// It is safe for concurrent span recording (the cloud fans tokens across a
-// worker pool) and nil-safe: every method on a nil *Trace is a no-op, so
-// call sites thread an optional trace without branching.
+// Trace collects the spans of one request as it crosses pipeline phases —
+// and, via TraceContext propagation over the wire protocol, as it crosses
+// process boundaries. It is safe for concurrent span recording (the cloud
+// fans tokens across a worker pool) and nil-safe: every method on a nil
+// *Trace is a no-op, so call sites thread an optional trace without
+// branching.
 type Trace struct {
 	name  string
+	id    string
 	start time.Time
 
 	mu    sync.Mutex
 	spans []SpanRecord
 }
 
-// SpanRecord is one completed phase of a trace.
+// SpanRecord is one completed phase of a trace. Party is empty for spans
+// recorded by the local process and names the remote party ("cloud",
+// "chain") for spans spliced in from a wire peer.
 type SpanRecord struct {
 	Phase    string        `json:"phase"`
+	Party    string        `json:"party,omitempty"`
 	Offset   time.Duration `json:"offsetNs"`   // start relative to the trace start
 	Duration time.Duration `json:"durationNs"` // wall time inside the phase
 }
 
-// NewTrace starts a named trace.
+// NewTrace starts a named trace with a fresh random trace ID.
 func NewTrace(name string) *Trace {
-	return &Trace{name: name, start: time.Now()}
+	return &Trace{name: name, id: NewTraceID(), start: time.Now()}
+}
+
+// NewTraceWithID starts a named trace continuing an existing trace identity
+// (the server side of a propagated TraceContext).
+func NewTraceWithID(name, id string) *Trace {
+	return &Trace{name: name, id: id, start: time.Now()}
 }
 
 // Name reports the trace name ("" on a nil trace).
@@ -38,6 +53,22 @@ func (t *Trace) Name() string {
 		return ""
 	}
 	return t.name
+}
+
+// ID reports the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start reports when the trace began (zero on a nil trace).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
 }
 
 // record appends one completed span.
@@ -102,14 +133,22 @@ func (t *Trace) WriteText(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	spans := t.Spans()
-	if _, err := fmt.Fprintf(w, "trace %s (%d spans, %.3fms total)\n",
-		t.name, len(spans), float64(t.Elapsed().Microseconds())/1000); err != nil {
+	return writeSpansText(w, t.name, t.id, t.Elapsed(), t.Spans())
+}
+
+// writeSpansText is the shared text renderer for live and stored traces.
+func writeSpansText(w io.Writer, name, id string, elapsed time.Duration, spans []SpanRecord) error {
+	if _, err := fmt.Fprintf(w, "trace %s [%s] (%d spans, %.3fms total)\n",
+		name, id, len(spans), float64(elapsed.Microseconds())/1000); err != nil {
 		return err
 	}
 	for _, s := range spans {
-		if _, err := fmt.Fprintf(w, "  %-24s +%9.3fms %9.3fms\n",
-			s.Phase,
+		party := s.Party
+		if party == "" {
+			party = "local"
+		}
+		if _, err := fmt.Fprintf(w, "  %-8s %-24s +%9.3fms %9.3fms\n",
+			party, s.Phase,
 			float64(s.Offset.Microseconds())/1000,
 			float64(s.Duration.Microseconds())/1000); err != nil {
 			return err
@@ -118,14 +157,165 @@ func (t *Trace) WriteText(w io.Writer) error {
 	return nil
 }
 
-// MarshalJSON renders {name, elapsedNs, spans}.
+// MarshalJSON renders {name, id, elapsedNs, spans}.
 func (t *Trace) MarshalJSON() ([]byte, error) {
 	if t == nil {
 		return []byte("null"), nil
 	}
 	return json.Marshal(struct {
 		Name      string        `json:"name"`
+		ID        string        `json:"id"`
 		ElapsedNs time.Duration `json:"elapsedNs"`
 		Spans     []SpanRecord  `json:"spans"`
-	}{t.name, t.Elapsed(), t.Spans()})
+	}{t.name, t.id, t.Elapsed(), t.Spans()})
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process propagation
+
+// maxTraceIDLen bounds the identifiers a peer may send: a 16-byte hex ID is
+// 32 characters, so 64 leaves headroom without letting a hostile peer ship
+// unbounded strings.
+const maxTraceIDLen = 64
+
+// maxRemoteSpans bounds how many spans one remote span tree may splice into
+// a local trace, so a hostile or buggy server cannot blow up client memory.
+const maxRemoteSpans = 1024
+
+// NewTraceID returns a fresh random 16-byte lowercase-hex trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable for key material, but a trace
+		// ID only needs uniqueness; fall back to the wall clock.
+		return fmt.Sprintf("%032x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceContext is the trace identity a client attaches to a wire request so
+// the server joins the same distributed trace. The zero value is "no
+// tracing".
+type TraceContext struct {
+	// TraceID identifies the distributed trace (lowercase hex, at most 64
+	// characters).
+	TraceID string `json:"traceId"`
+	// ParentSpan optionally names the client-side span this request runs
+	// under (same character set and bound as TraceID).
+	ParentSpan string `json:"parentSpan,omitempty"`
+	// Sampled tells the server whether to record and return spans. A false
+	// value propagates the identity without the cost.
+	Sampled bool `json:"sampled"`
+}
+
+// Context returns the trace's propagation context (nil on a nil trace).
+func (t *Trace) Context() *TraceContext {
+	if t == nil {
+		return nil
+	}
+	return &TraceContext{TraceID: t.id, Sampled: true}
+}
+
+// ErrBadTraceContext reports a malformed or hostile trace context. Servers
+// ignore such contexts rather than failing the request.
+var ErrBadTraceContext = errors.New("obs: malformed trace context")
+
+// Validate checks a received trace context against the propagation rules:
+// non-empty bounded lowercase-hex TraceID, optional bounded lowercase-hex
+// ParentSpan. It never panics regardless of input.
+func (c *TraceContext) Validate() error {
+	if c == nil {
+		return fmt.Errorf("%w: nil", ErrBadTraceContext)
+	}
+	if c.TraceID == "" {
+		return fmt.Errorf("%w: empty trace id", ErrBadTraceContext)
+	}
+	if err := validTraceToken(c.TraceID); err != nil {
+		return fmt.Errorf("%w: trace id %s", ErrBadTraceContext, err)
+	}
+	if c.ParentSpan != "" {
+		if err := validTraceToken(c.ParentSpan); err != nil {
+			return fmt.Errorf("%w: parent span %s", ErrBadTraceContext, err)
+		}
+	}
+	return nil
+}
+
+func validTraceToken(s string) error {
+	if len(s) > maxTraceIDLen {
+		return fmt.Errorf("exceeds %d characters", maxTraceIDLen)
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return fmt.Errorf("has non-hex character %q", ch)
+		}
+	}
+	return nil
+}
+
+// TraceSummary is the completed span tree of one (typically server-side)
+// trace, in the form that crosses the wire back to the caller.
+type TraceSummary struct {
+	Name       string        `json:"name"`
+	TraceID    string        `json:"traceId,omitempty"`
+	DurationNs time.Duration `json:"durationNs"`
+	Spans      []SpanRecord  `json:"spans"`
+}
+
+// Summary freezes the trace into its wire form (nil on a nil trace).
+func (t *Trace) Summary() *TraceSummary {
+	if t == nil {
+		return nil
+	}
+	return &TraceSummary{Name: t.name, TraceID: t.id, DurationNs: t.Elapsed(), Spans: t.Spans()}
+}
+
+// SpliceRemote merges a remote party's span tree into this trace under one
+// client-observed RPC call: it records the client-side span ("rpc:<method>",
+// covering the full round trip), a derived wire-time span ("wire:<method>",
+// the client duration minus the server-reported duration — never a clock
+// subtraction across machines, so clock skew cannot corrupt the tree), and
+// every remote span offset-shifted into the client timeline and tagged with
+// the party name. start/clientDur are the local observation of the call;
+// remote may be nil (context-free peer), in which case only the client span
+// is recorded. Hostile summaries are bounded: at most maxRemoteSpans spans
+// splice, negative derived wire time clamps to zero.
+func (t *Trace) SpliceRemote(party, method string, start time.Time, clientDur time.Duration, remote *TraceSummary) {
+	if t == nil {
+		return
+	}
+	clientOffset := start.Sub(t.start)
+	records := make([]SpanRecord, 0, 2)
+	records = append(records, SpanRecord{
+		Phase: "rpc:" + method, Party: party, Offset: clientOffset, Duration: clientDur,
+	})
+	if remote != nil {
+		wire := clientDur - remote.DurationNs
+		if wire < 0 {
+			wire = 0
+		}
+		records = append(records, SpanRecord{
+			Phase: "wire:" + method, Party: party, Offset: clientOffset, Duration: wire,
+		})
+		// Center the server's timeline inside the client span: the send and
+		// receive halves of the wire time flank the server work.
+		shift := clientOffset + wire/2
+		spans := remote.Spans
+		if len(spans) > maxRemoteSpans {
+			spans = spans[:maxRemoteSpans]
+		}
+		for _, rs := range spans {
+			p := rs.Party
+			if p == "" {
+				p = party
+			}
+			records = append(records, SpanRecord{
+				Phase: rs.Phase, Party: p, Offset: shift + rs.Offset, Duration: rs.Duration,
+			})
+		}
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, records...)
+	t.mu.Unlock()
 }

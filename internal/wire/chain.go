@@ -64,11 +64,13 @@ type ChainServer struct {
 	reverted  *obs.Counter
 }
 
-// NewChainServer wraps a network.
+// NewChainServer wraps a network. A bounded trace store is attached by
+// default so propagated traces are inspectable at /debug/traces.
 func NewChainServer(network *chain.Network) *ChainServer {
 	cs := &ChainServer{network: network, srv: NewServer(), started: time.Now()}
-	cs.srv.Handle(MethodChainSubmit, cs.handleSubmit)
-	cs.srv.Handle(MethodChainStep, cs.handleStep)
+	cs.srv.SetTraceStore(obs.NewTraceStore(0))
+	cs.srv.HandleTraced(MethodChainSubmit, cs.handleSubmit)
+	cs.srv.HandleTraced(MethodChainStep, cs.handleStep)
 	cs.srv.Handle(MethodChainReceipt, cs.handleReceipt)
 	cs.srv.Handle(MethodChainBalance, cs.handleBalance)
 	cs.srv.Handle(MethodChainNonce, cs.handleNonce)
@@ -76,6 +78,9 @@ func NewChainServer(network *chain.Network) *ChainServer {
 	cs.srv.Handle(MethodChainHeight, cs.handleHeight)
 	return cs
 }
+
+// Traces exposes the server's trace store (for /debug/traces and tuning).
+func (cs *ChainServer) Traces() *obs.TraceStore { return cs.srv.TraceStore() }
 
 // SetObservability attaches a metrics registry and/or structured logger:
 // the RPC layer gains per-method series (server="chain") and sealing
@@ -113,31 +118,35 @@ func (cs *ChainServer) Listen(addr string) (string, error) { return cs.srv.Liste
 // Close shuts the server down.
 func (cs *ChainServer) Close() error { return cs.srv.Close() }
 
-func (cs *ChainServer) handleSubmit(params json.RawMessage) (any, error) {
+// handleSubmit records the pool-admission phase into the propagated trace
+// (nil for context-free callers).
+func (cs *ChainServer) handleSubmit(params json.RawMessage, tr *obs.Trace) (any, error) {
 	var tx chain.Transaction
 	if err := json.Unmarshal(params, &tx); err != nil {
 		return nil, err
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	t0 := cs.submitDur.Start()
+	end := obs.StartPhase(cs.submitDur, tr, "chain.submit")
 	if err := cs.network.SubmitTx(&tx); err != nil {
 		return nil, err
 	}
-	cs.submitDur.ObserveSince(t0)
+	end()
 	h := tx.Hash()
 	return h[:], nil
 }
 
-func (cs *ChainServer) handleStep(json.RawMessage) (any, error) {
+// handleStep records the block-sealing phase — which includes the
+// contract's on-chain result verification — into the propagated trace.
+func (cs *ChainServer) handleStep(_ json.RawMessage, tr *obs.Trace) (any, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	t0 := cs.sealDur.Start()
+	end := obs.StartPhase(cs.sealDur, tr, "chain.seal")
 	block, err := cs.network.Step()
 	if err != nil {
 		return nil, err
 	}
-	cs.sealDur.ObserveSince(t0)
+	end()
 	cs.blocks.Inc()
 	cs.txs.Add(uint64(len(block.Receipts)))
 	for _, r := range block.Receipts {
@@ -217,19 +226,33 @@ type ChainClient struct {
 	c *Client
 }
 
-// DialChain connects to a chain server.
+// DialChain connects to a chain server with the default timeouts.
 func DialChain(addr string) (*ChainClient, error) {
-	c, err := Dial(addr)
+	return DialChainOpts(addr, ClientOptions{})
+}
+
+// DialChainOpts connects to a chain server with explicit transport options.
+func DialChainOpts(addr string, opts ClientOptions) (*ChainClient, error) {
+	c, err := DialOpts(addr, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &ChainClient{c: c}, nil
 }
 
+// Client exposes the underlying RPC client for transport tuning.
+func (cc *ChainClient) Client() *Client { return cc.c }
+
 // Submit queues a transaction and returns its hash.
 func (cc *ChainClient) Submit(tx *chain.Transaction) (chain.Hash, error) {
+	return cc.SubmitTraced(tx, nil)
+}
+
+// SubmitTraced is Submit with the chain's admission span spliced into tr
+// (party "chain"); a nil trace makes it exactly Submit.
+func (cc *ChainClient) SubmitTraced(tx *chain.Transaction, tr *obs.Trace) (chain.Hash, error) {
 	var raw []byte
-	if err := cc.c.Call(MethodChainSubmit, tx, &raw); err != nil {
+	if err := cc.c.CallTraced(MethodChainSubmit, tx, &raw, tr, "chain"); err != nil {
 		return chain.Hash{}, err
 	}
 	var h chain.Hash
@@ -239,8 +262,14 @@ func (cc *ChainClient) Submit(tx *chain.Transaction) (chain.Hash, error) {
 
 // Step asks the network to seal the next block.
 func (cc *ChainClient) Step() (uint64, error) {
+	return cc.StepTraced(nil)
+}
+
+// StepTraced is Step with the chain's sealing span (which includes on-chain
+// verification) spliced into tr; a nil trace makes it exactly Step.
+func (cc *ChainClient) StepTraced(tr *obs.Trace) (uint64, error) {
 	var out map[string]uint64
-	if err := cc.c.Call(MethodChainStep, nil, &out); err != nil {
+	if err := cc.c.CallTraced(MethodChainStep, nil, &out, tr, "chain"); err != nil {
 		return 0, err
 	}
 	return out["number"], nil
@@ -257,11 +286,18 @@ func (cc *ChainClient) Receipt(h chain.Hash) (*ReceiptMsg, error) {
 
 // Mine submits a transaction, seals a block and returns the receipt.
 func (cc *ChainClient) Mine(tx *chain.Transaction) (*ReceiptMsg, error) {
-	h, err := cc.Submit(tx)
+	return cc.MineTraced(tx, nil)
+}
+
+// MineTraced is Mine with the chain's submit and seal phases — and the wire
+// time of both round trips — spliced into tr; a nil trace makes it exactly
+// Mine.
+func (cc *ChainClient) MineTraced(tx *chain.Transaction, tr *obs.Trace) (*ReceiptMsg, error) {
+	h, err := cc.SubmitTraced(tx, tr)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := cc.Step(); err != nil {
+	if _, err := cc.StepTraced(tr); err != nil {
 		return nil, err
 	}
 	return cc.Receipt(h)

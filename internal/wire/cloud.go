@@ -150,15 +150,21 @@ type CloudServer struct {
 }
 
 // NewCloudServer creates an un-initialized cloud server; the owner
-// initializes it remotely with MethodCloudInit.
+// initializes it remotely with MethodCloudInit. A bounded trace store is
+// attached by default so propagated traces are inspectable at
+// /debug/traces; tune or replace it via Traces / Server().SetTraceStore.
 func NewCloudServer() *CloudServer {
 	cs := &CloudServer{srv: NewServer(), started: time.Now()}
+	cs.srv.SetTraceStore(obs.NewTraceStore(0))
 	cs.srv.Handle(MethodCloudInit, cs.handleInit)
 	cs.srv.Handle(MethodCloudUpdate, cs.handleUpdate)
-	cs.srv.Handle(MethodCloudSearch, cs.handleSearch)
+	cs.srv.HandleTraced(MethodCloudSearch, cs.handleSearch)
 	cs.srv.Handle(MethodCloudStats, cs.handleStats)
 	return cs
 }
+
+// Traces exposes the server's trace store (for /debug/traces and tuning).
+func (cs *CloudServer) Traces() *obs.TraceStore { return cs.srv.TraceStore() }
 
 // SetObservability attaches a metrics registry and/or structured logger:
 // the RPC layer gains per-method and connection series (server="cloud")
@@ -273,7 +279,10 @@ func (cs *CloudServer) handleUpdate(params json.RawMessage) (any, error) {
 	return map[string]bool{"ok": true}, nil
 }
 
-func (cs *CloudServer) handleSearch(params json.RawMessage) (any, error) {
+// handleSearch records the cloud's collect/witness phases into the
+// propagated trace (nil for context-free callers — then it is exactly the
+// pre-trace handler).
+func (cs *CloudServer) handleSearch(params json.RawMessage, tr *obs.Trace) (any, error) {
 	cloud, err := cs.get()
 	if err != nil {
 		return nil, err
@@ -282,7 +291,7 @@ func (cs *CloudServer) handleSearch(params json.RawMessage) (any, error) {
 	if err := json.Unmarshal(params, &req); err != nil {
 		return nil, err
 	}
-	return cloud.Search(&req)
+	return cloud.SearchTraced(&req, tr)
 }
 
 func (cs *CloudServer) handleStats(json.RawMessage) (any, error) {
@@ -305,14 +314,22 @@ type CloudClient struct {
 	c *Client
 }
 
-// DialCloud connects to a cloud server.
+// DialCloud connects to a cloud server with the default timeouts.
 func DialCloud(addr string) (*CloudClient, error) {
-	c, err := Dial(addr)
+	return DialCloudOpts(addr, ClientOptions{})
+}
+
+// DialCloudOpts connects to a cloud server with explicit transport options.
+func DialCloudOpts(addr string, opts ClientOptions) (*CloudClient, error) {
+	c, err := DialOpts(addr, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &CloudClient{c: c}, nil
 }
+
+// Client exposes the underlying RPC client for transport tuning.
+func (cc *CloudClient) Client() *Client { return cc.c }
 
 // Init ships the owner's CloudState to the server.
 func (cc *CloudClient) Init(st *core.CloudState, cached bool) error {
@@ -326,8 +343,15 @@ func (cc *CloudClient) Update(out *core.UpdateOutput) error {
 
 // Search executes a remote search.
 func (cc *CloudClient) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
+	return cc.SearchTraced(req, nil)
+}
+
+// SearchTraced executes a remote search while splicing the cloud's
+// server-side spans (collect, witness) and the derived wire time into tr,
+// tagged party "cloud". A nil trace makes it exactly Search.
+func (cc *CloudClient) SearchTraced(req *core.SearchRequest, tr *obs.Trace) (*core.SearchResponse, error) {
 	var resp core.SearchResponse
-	if err := cc.c.Call(MethodCloudSearch, req, &resp); err != nil {
+	if err := cc.c.CallTraced(MethodCloudSearch, req, &resp, tr, "cloud"); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -32,16 +32,32 @@ const MaxMessageSize = 64 << 20
 // SetIdleTimeout; 0 disables the deadline.
 const DefaultIdleTimeout = 2 * time.Minute
 
-// Request is one framed RPC request.
+// DefaultDialTimeout bounds how long Dial waits for the TCP connection.
+const DefaultDialTimeout = 10 * time.Second
+
+// DefaultCallTimeout bounds one RPC round trip (write + server work +
+// read), so a dead or stalled server cannot pin the caller forever. It
+// matches the server's idle deadline; override with ClientOptions.
+const DefaultCallTimeout = 2 * time.Minute
+
+// Request is one framed RPC request. Trace, when present and valid, asks
+// the server to join the caller's distributed trace and return its span
+// tree; peers that predate trace propagation simply ignore the field, and
+// a request without it gets a context-free response — full backward
+// compatibility in both directions.
 type Request struct {
-	Method string          `json:"method"`
-	Params json.RawMessage `json:"params,omitempty"`
+	Method string            `json:"method"`
+	Params json.RawMessage   `json:"params,omitempty"`
+	Trace  *obs.TraceContext `json:"trace,omitempty"`
 }
 
-// Response is one framed RPC response.
+// Response is one framed RPC response. Trace carries the server-side span
+// tree back to a caller that sent a sampled trace context; it is absent
+// otherwise.
 type Response struct {
-	Result json.RawMessage `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage   `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+	Trace  *obs.TraceSummary `json:"trace,omitempty"`
 }
 
 // WriteMessage frames and writes one JSON message.
@@ -86,10 +102,16 @@ func ReadMessage(r io.Reader, v any) error {
 // is marshaled into the response.
 type Handler func(params json.RawMessage) (any, error)
 
+// TracedHandler is a Handler that additionally receives the server-side
+// trace of the request — non-nil only when the caller propagated a valid,
+// sampled trace context. Handlers record their phases into it; a nil trace
+// makes every span a no-op, so no branching is needed.
+type TracedHandler func(params json.RawMessage, tr *obs.Trace) (any, error)
+
 // handlerEntry is one registered method with its per-method instruments
 // (nil until SetMetrics attaches a registry).
 type handlerEntry struct {
-	fn    Handler
+	fn    TracedHandler
 	calls *obs.Counter
 	errs  *obs.Counter
 	dur   *obs.Histogram
@@ -107,9 +129,12 @@ type Server struct {
 	logger      *slog.Logger
 	reg         *obs.Registry
 	subsystem   string
+	traces      *obs.TraceStore
 	connsOpen   *obs.Gauge
 	connsTotal  *obs.Counter
 	idleDropped *obs.Counter
+	traceBad    *obs.Counter
+	traceServed *obs.Counter
 }
 
 // NewServer creates an empty server with the default idle timeout and a
@@ -164,9 +189,29 @@ func (s *Server) SetMetrics(reg *obs.Registry, subsystem string) {
 		"RPC connections accepted since start.")
 	s.idleDropped = reg.Counter(obs.Label("slicer_rpc_idle_dropped_total", "server", subsystem),
 		"Connections dropped by the idle read deadline.")
+	s.traceBad = reg.Counter(obs.Label("slicer_rpc_trace_rejected_total", "server", subsystem),
+		"Requests whose trace context was malformed and therefore ignored.")
+	s.traceServed = reg.Counter(obs.Label("slicer_rpc_traces_total", "server", subsystem),
+		"Requests served with a propagated distributed trace.")
 	for method, e := range s.handlers {
 		s.instrument(method, e)
 	}
+}
+
+// SetTraceStore attaches a store retaining the server-side traces of
+// requests that arrive with a sampled trace context, for /debug/traces. A
+// nil store detaches.
+func (s *Server) SetTraceStore(ts *obs.TraceStore) {
+	s.mu.Lock()
+	s.traces = ts
+	s.mu.Unlock()
+}
+
+// TraceStore reports the attached store (nil when detached).
+func (s *Server) TraceStore() *obs.TraceStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traces
 }
 
 // instrument resolves one method's instruments. Caller holds s.mu.
@@ -182,8 +227,17 @@ func (s *Server) instrument(method string, e *handlerEntry) {
 		"RPC handler latency, by method.")
 }
 
-// Handle registers a method handler.
+// Handle registers a method handler that does not record trace spans of its
+// own (the RPC layer still traces the handler as a whole).
 func (s *Server) Handle(method string, h Handler) {
+	s.HandleTraced(method, func(params json.RawMessage, _ *obs.Trace) (any, error) {
+		return h(params)
+	})
+}
+
+// HandleTraced registers a method handler that records its phases into the
+// request's propagated trace.
+func (s *Server) HandleTraced(method string, h TracedHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := &handlerEntry{fn: h}
@@ -259,9 +313,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if !ok {
 			resp.Error = fmt.Sprintf("unknown method %q", req.Method)
 		} else {
+			tr := s.openTrace(&req)
 			e.calls.Inc()
 			t0 := e.dur.Start()
-			result, err := e.fn(req.Params)
+			endHandle := tr.Span("handle:" + req.Method)
+			result, err := e.fn(req.Params, tr)
+			endHandle()
 			e.dur.ObserveSince(t0)
 			if err != nil {
 				e.errs.Inc()
@@ -275,6 +332,11 @@ func (s *Server) serveConn(conn net.Conn) {
 					resp.Result = body
 				}
 			}
+			if tr != nil {
+				s.traceServed.Inc()
+				resp.Trace = tr.Summary()
+				s.TraceStore().Record(tr)
+			}
 		}
 		if err := WriteMessage(w, &resp); err != nil {
 			return
@@ -283,6 +345,31 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// openTrace starts a server-side trace for a request carrying a valid,
+// sampled trace context; it returns nil (tracing off) for context-free
+// requests and silently ignores — but counts — malformed or hostile
+// contexts, so a bad peer can never fail a request or panic the server.
+func (s *Server) openTrace(req *Request) *obs.Trace {
+	if req.Trace == nil {
+		return nil
+	}
+	if err := req.Trace.Validate(); err != nil {
+		s.traceBad.Inc()
+		s.log().Debug("ignoring malformed trace context", "method", req.Method, "err", err)
+		return nil
+	}
+	if !req.Trace.Sampled {
+		return nil
+	}
+	s.mu.Lock()
+	name := s.subsystem
+	s.mu.Unlock()
+	if name == "" {
+		name = "server"
+	}
+	return obs.NewTraceWithID(name+"."+req.Method, req.Trace.TraceID)
 }
 
 // Close stops accepting and waits for in-flight connections to finish.
@@ -303,45 +390,155 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a synchronous RPC client over one TCP connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+// ErrCallTimeout reports an RPC round trip that exceeded the client's call
+// deadline (the server is dead, stalled, or too slow). Detect it with
+// errors.Is; the connection is unusable afterwards.
+var ErrCallTimeout = errors.New("wire: call timed out")
+
+// ClientOptions tunes a client's transport robustness. The zero value gets
+// the package defaults.
+type ClientOptions struct {
+	// DialTimeout bounds the TCP connect (default DefaultDialTimeout;
+	// negative disables).
+	DialTimeout time.Duration
+	// CallTimeout bounds one RPC round trip (default DefaultCallTimeout;
+	// negative disables). Raise it for calls that legitimately run long —
+	// e.g. bulk index shipping at full scale.
+	CallTimeout time.Duration
+	// Registry, when non-nil, counts client-side call timeouts
+	// (slicer_rpc_client_timeouts_total).
+	Registry *obs.Registry
 }
 
-// Dial connects to a server.
+func (o ClientOptions) dialTimeout() time.Duration {
+	if o.DialTimeout < 0 {
+		return 0
+	}
+	if o.DialTimeout == 0 {
+		return DefaultDialTimeout
+	}
+	return o.DialTimeout
+}
+
+// Client is a synchronous RPC client over one TCP connection.
+type Client struct {
+	mu          sync.Mutex
+	conn        net.Conn
+	r           *bufio.Reader
+	w           *bufio.Writer
+	callTimeout time.Duration
+	timeouts    *obs.Counter // nil-safe
+}
+
+// Dial connects to a server with the default timeouts.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOpts(addr, ClientOptions{})
+}
+
+// DialOpts connects to a server with explicit transport options.
+func DialOpts(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	switch {
+	case opts.CallTimeout < 0:
+		c.callTimeout = 0
+	case opts.CallTimeout == 0:
+		c.callTimeout = DefaultCallTimeout
+	default:
+		c.callTimeout = opts.CallTimeout
+	}
+	if opts.Registry != nil {
+		c.timeouts = opts.Registry.Counter("slicer_rpc_client_timeouts_total",
+			"RPC calls abandoned because the per-call deadline expired.")
+	}
+	return c, nil
+}
+
+// SetCallTimeout rebounds the per-call deadline (0 disables).
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	c.callTimeout = d
+	c.mu.Unlock()
 }
 
 // Call invokes a method, decoding the result into out (which may be nil).
 func (c *Client) Call(method string, params any, out any) error {
+	resp, err := c.roundTrip(method, params, nil)
+	if err != nil {
+		return err
+	}
+	return decodeResult(resp, out)
+}
+
+// CallTraced invokes a method while propagating tr's context to the server
+// and splicing the returned span tree into tr, tagged with the party name.
+// A nil trace makes CallTraced exactly Call (no context is sent, so peers
+// that predate trace propagation see an unchanged protocol).
+func (c *Client) CallTraced(method string, params any, out any, tr *obs.Trace, party string) error {
+	if tr == nil {
+		return c.Call(method, params, out)
+	}
+	start := time.Now()
+	resp, err := c.roundTrip(method, params, tr.Context())
+	if err != nil {
+		return err
+	}
+	// Splice before surfacing an application error: a failed RPC still
+	// contributes its latency attribution.
+	tr.SpliceRemote(party, method, start, time.Since(start), resp.Trace)
+	return decodeResult(resp, out)
+}
+
+// roundTrip frames one request and reads its response under the per-call
+// deadline.
+func (c *Client) roundTrip(method string, params any, tctx *obs.TraceContext) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var raw json.RawMessage
 	if params != nil {
 		body, err := json.Marshal(params)
 		if err != nil {
-			return fmt.Errorf("wire: marshal params: %w", err)
+			return nil, fmt.Errorf("wire: marshal params: %w", err)
 		}
 		raw = body
 	}
-	if err := WriteMessage(c.w, &Request{Method: method, Params: raw}); err != nil {
-		return err
+	if c.callTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := WriteMessage(c.w, &Request{Method: method, Params: raw, Trace: tctx}); err != nil {
+		return nil, c.wrapTimeout(method, err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return err
+		return nil, c.wrapTimeout(method, err)
 	}
 	var resp Response
 	if err := ReadMessage(c.r, &resp); err != nil {
-		return err
+		return nil, c.wrapTimeout(method, err)
 	}
+	return &resp, nil
+}
+
+// wrapTimeout converts a deadline expiry into the typed ErrCallTimeout and
+// counts it; other errors pass through.
+func (c *Client) wrapTimeout(method string, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.timeouts.Inc()
+		return fmt.Errorf("%w: %s after %s", ErrCallTimeout, method, c.callTimeout)
+	}
+	return err
+}
+
+func decodeResult(resp *Response, out any) error {
 	if resp.Error != "" {
 		return errors.New(resp.Error)
 	}

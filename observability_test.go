@@ -22,12 +22,6 @@ import (
 // search output must be exactly what the un-instrumented pipeline returns.
 func TestDistributedSearchMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
-	adm, err := obs.StartAdmin("127.0.0.1:0", reg, obs.Nop())
-	if err != nil {
-		t.Fatalf("StartAdmin: %v", err)
-	}
-	defer adm.Close()
-
 	cloudSrv := wire.NewCloudServer()
 	cloudSrv.SetObservability(reg, obs.Nop())
 	cloudAddr, err := cloudSrv.Listen("127.0.0.1:0")
@@ -35,6 +29,12 @@ func TestDistributedSearchMetrics(t *testing.T) {
 		t.Fatalf("cloud listen: %v", err)
 	}
 	defer cloudSrv.Close()
+
+	adm, err := obs.StartAdmin("127.0.0.1:0", reg, cloudSrv.Traces(), obs.Nop())
+	if err != nil {
+		t.Fatalf("StartAdmin: %v", err)
+	}
+	defer adm.Close()
 
 	registry := chain.NewRegistry()
 	if err := contract.Register(registry); err != nil {
@@ -220,6 +220,214 @@ func TestSchemeObservability(t *testing.T) {
 	}
 	if got, want := fmt.Sprint(ids), fmt.Sprint(plain); got != want {
 		t.Fatalf("detached search ids = %s, want %s", got, want)
+	}
+}
+
+// TestDistributedTracePropagation is the end-to-end acceptance check for
+// cross-process tracing: one traced fair-exchange search over loopback RPC
+// must yield a single merged trace holding the client's pipeline phases,
+// the cloud's collect/witness spans (party "cloud", non-zero), the chain's
+// seal span (party "chain", non-zero) and a derived wire-time span — and
+// the same trace, keyed by the client's trace ID, must be retrievable from
+// the cloud server's /debug/traces endpoint. A context-free peer on the
+// same connection must keep getting PR-2-identical responses.
+func TestDistributedTracePropagation(t *testing.T) {
+	reg := obs.NewRegistry()
+	cloudSrv := wire.NewCloudServer()
+	cloudSrv.SetObservability(reg, obs.Nop())
+	cloudAddr, err := cloudSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("cloud listen: %v", err)
+	}
+	defer cloudSrv.Close()
+	adm, err := obs.StartAdmin("127.0.0.1:0", reg, cloudSrv.Traces(), obs.Nop())
+	if err != nil {
+		t.Fatalf("StartAdmin: %v", err)
+	}
+	defer adm.Close()
+
+	registry := chain.NewRegistry()
+	if err := contract.Register(registry); err != nil {
+		t.Fatal(err)
+	}
+	ownerAcct := chain.AddressFromString("owner")
+	userAcct := chain.AddressFromString("user")
+	cloudAcct := chain.AddressFromString("cloud")
+	network, err := chain.NewNetwork(registry,
+		[]chain.Address{chain.AddressFromString("v0")},
+		map[chain.Address]uint64{ownerAcct: 1 << 30, userAcct: 1 << 30, cloudAcct: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainSrv := wire.NewChainServer(network)
+	chainSrv.SetObservability(reg, obs.Nop())
+	chainAddr, err := chainSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("chain listen: %v", err)
+	}
+	defer chainSrv.Close()
+
+	owner, err := core.NewOwner(core.Params{Bits: 8, TrapdoorBits: 512, AccumulatorBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := owner.Build([]Record{NewRecord(1, 10), NewRecord(2, 200), NewRecord(3, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudCli, err := wire.DialCloud(cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloudCli.Close()
+	if err := cloudCli.Init(owner.CloudInit(built.Index), true); err != nil {
+		t.Fatalf("cloud init: %v", err)
+	}
+	chainCli, err := wire.DialChain(chainAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chainCli.Close()
+	deployRc, err := chainCli.Mine(contract.DeployTx(ownerAcct, 0, owner.AccumulatorPub().Marshal(), owner.Ac(), 50_000_000))
+	if err != nil || !deployRc.Status {
+		t.Fatalf("contract deploy: %v %s", err, deployRc.Err)
+	}
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The traced fair-exchange search: every RPC carries the trace context
+	// and splices the remote span tree into tr.
+	tr := obs.NewTrace("traced fair-exchange search")
+	endToken := tr.Span("token")
+	req, err := user.Token(Less(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endToken()
+	th, err := contract.TokensHash(req.Tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID := chain.HashBytes([]byte("traced-req"))
+	nonce, err := chainCli.Nonce(userAcct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endEscrow := tr.Span("escrow")
+	if rc, err := chainCli.MineTraced(&chain.Transaction{
+		From: userAcct, To: deployRc.ContractAddress, Nonce: nonce, Value: 1000,
+		GasLimit: 1_000_000, Data: contract.RequestData(reqID, cloudAcct, th),
+	}, tr); err != nil || !rc.Status {
+		t.Fatalf("escrow: %v %s", err, rc.Err)
+	}
+	endEscrow()
+	endSearch := tr.Span("cloud_search")
+	resp, err := cloudCli.SearchTraced(req, tr)
+	if err != nil {
+		t.Fatalf("traced search: %v", err)
+	}
+	endSearch()
+	submit, err := contract.SubmitData(reqID, owner.AccumulatorPub().Marshal(), owner.Ac(), resp.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, err = chainCli.Nonce(cloudAcct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endSettle := tr.Span("settle")
+	if rc, err := chainCli.MineTraced(&chain.Transaction{
+		From: cloudAcct, To: deployRc.ContractAddress, Nonce: nonce,
+		GasLimit: 50_000_000, Data: submit,
+	}, tr); err != nil || !rc.Status {
+		t.Fatalf("submit: %v %s", err, rc.Err)
+	}
+	endSettle()
+	endDecrypt := tr.Span("decrypt")
+	ids, err := user.Decrypt(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endDecrypt()
+
+	// One merged tree: local pipeline phases plus remote spans, attributed
+	// to the party that measured them, with non-zero remote durations.
+	byPhase := make(map[string]obs.SpanRecord)
+	for _, sp := range tr.Spans() {
+		byPhase[sp.Phase] = sp
+	}
+	for _, localPhase := range []string{"token", "escrow", "cloud_search", "settle", "decrypt"} {
+		sp, ok := byPhase[localPhase]
+		if !ok || sp.Party != "" {
+			t.Errorf("local phase %q = %+v (present %v)", localPhase, sp, ok)
+		}
+	}
+	for phase, party := range map[string]string{
+		"cloud.collect": "cloud", "cloud.witness": "cloud",
+		"chain.submit": "chain", "chain.seal": "chain",
+	} {
+		sp, ok := byPhase[phase]
+		if !ok {
+			t.Errorf("remote phase %q missing from merged trace (got %v)", phase, tr.Spans())
+			continue
+		}
+		if sp.Party != party {
+			t.Errorf("phase %q party = %q, want %q", phase, sp.Party, party)
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("phase %q duration = %v, want > 0", phase, sp.Duration)
+		}
+	}
+	for _, derived := range []string{"rpc:cloud.search", "wire:cloud.search", "wire:chain.step"} {
+		if _, ok := byPhase[derived]; !ok {
+			t.Errorf("derived span %q missing from merged trace", derived)
+		}
+	}
+	if sp := byPhase["wire:cloud.search"]; sp.Duration < 0 {
+		t.Errorf("wire time = %v, want >= 0", sp.Duration)
+	}
+
+	// The cloud kept its half of the trace under the client's trace ID,
+	// retrievable over the admin endpoint.
+	if got := cloudSrv.Traces().Seen(); got != 1 {
+		t.Errorf("cloud trace store saw %d traces, want 1", got)
+	}
+	res, err := http.Get("http://" + adm.Addr() + "/debug/traces")
+	if err != nil {
+		t.Fatalf("scrape traces: %v", err)
+	}
+	listing, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 || !strings.Contains(string(listing), tr.ID()) {
+		t.Errorf("/debug/traces = %d, missing trace %s:\n%s", res.StatusCode, tr.ID(), listing)
+	}
+	res, err = http.Get("http://" + adm.Addr() + "/debug/traces?id=" + tr.ID())
+	if err != nil {
+		t.Fatalf("fetch trace: %v", err)
+	}
+	rendered, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 || !strings.Contains(string(rendered), "cloud.collect") {
+		t.Errorf("/debug/traces?id = %d %q", res.StatusCode, rendered)
+	}
+
+	// A context-free search on the same connections still interoperates and
+	// returns the same result — and records nothing server-side.
+	plainResp, err := cloudCli.Search(req)
+	if err != nil {
+		t.Fatalf("context-free search: %v", err)
+	}
+	plainIDs, err := user.Decrypt(plainResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(plainIDs), fmt.Sprint(ids); got != want {
+		t.Fatalf("context-free ids = %s, want %s", got, want)
+	}
+	if got := cloudSrv.Traces().Seen(); got != 1 {
+		t.Errorf("context-free search recorded a trace (seen = %d, want 1)", got)
 	}
 }
 

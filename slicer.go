@@ -61,6 +61,14 @@ type (
 	MetricsRegistry = obs.Registry
 	// SearchTrace is a per-request span trace (see SearchTraced).
 	SearchTrace = obs.Trace
+	// SpanRecord is one completed phase of a SearchTrace.
+	SpanRecord = obs.SpanRecord
+	// TraceContext propagates a trace identity across a wire RPC.
+	TraceContext = obs.TraceContext
+	// TraceSummary is a completed span tree returned by a wire peer.
+	TraceSummary = obs.TraceSummary
+	// TraceStore retains finalized traces in bounded memory (/debug/traces).
+	TraceStore = obs.TraceStore
 )
 
 // Query operators.
@@ -94,6 +102,8 @@ var (
 	// NewMetricsRegistry creates an observability registry to attach with
 	// Scheme.SetObservability / Deployment.SetObservability.
 	NewMetricsRegistry = obs.NewRegistry
+	// NewTraceStore creates a bounded trace retention store.
+	NewTraceStore = obs.NewTraceStore
 )
 
 // Scheme is a single-process Slicer deployment: owner, one user and one

@@ -1,0 +1,105 @@
+// Package analysis is a from-scratch, stdlib-only static-analysis framework
+// (go/parser + go/ast + go/types with the source importer; no x/tools) that
+// mechanically enforces Slicer's crypto and determinism contracts. The
+// compiler checks none of the properties the security argument leans on —
+// constant-time comparison of MACs and digests, history-independent
+// serialization (no map-iteration order leaking into hashes or wire bytes),
+// no weak randomness near key material, no wall-clock reads inside
+// deterministic protocol code, no silently dropped errors — so this package
+// provides the Analyzer/Pass machinery, a module loader, suppression
+// directives with mandatory reasons, and position-accurate diagnostics, and
+// the cmd/slicer-vet driver wires it into CI as a required gate.
+//
+// Suppression grammar (checked itself — a malformed directive is a
+// diagnostic):
+//
+//	//slicer:allow <analyzer> -- <reason>
+//
+// A directive suppresses the named analyzer on its own line and on the line
+// immediately below, so it can sit either at the end of the offending line
+// or on its own line directly above it. The reason is mandatory; an unknown
+// analyzer name is reported under the "directive" pseudo-analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one named invariant check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //slicer:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects pass.Pkg and reports violations via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportHardf records a diagnostic that no //slicer:allow directive can
+// suppress — for violations where an annotation cannot make the code
+// safe (e.g. a weak PRNG inside a package holding key material).
+func (p *Pass) ReportHardf(pos token.Pos, format string, args ...any) {
+	p.Reportf(pos, format, args...)
+	p.diags[len(p.diags)-1].Hard = true
+}
+
+// A Diagnostic is one reported invariant violation with an exact source
+// position.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name ("directive" for
+	// malformed suppression directives).
+	Analyzer string `json:"analyzer"`
+	// Pos locates the violation (file, line, column).
+	Pos token.Position `json:"-"`
+	// Message explains the violation and the expected fix.
+	Message string `json:"message"`
+	// Hard marks a diagnostic that suppression directives do not cover.
+	Hard bool `json:"hard,omitempty"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer and
+// message, making runner output deterministic regardless of analyzer or
+// map-iteration order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,11 @@
+package analysis
+
+// All returns the project's analyzers in their canonical order. The set
+// maps one-to-one onto the paper properties DESIGN.md documents:
+// ctcompare ↔ constant-time MAC/digest verification, weakrand ↔
+// forward-secure trapdoor randomness, maporder ↔ the history-independent
+// dictionary, wallclock ↔ deterministic replay and gas constancy, errdrop
+// ↔ no vacuously-succeeding verification.
+func All() []*Analyzer {
+	return []*Analyzer{CTCompare, WeakRand, MapOrder, WallClock, ErrDrop}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment.
+const DirectivePrefix = "//slicer:allow"
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed
+// directives are reported. It cannot itself be suppressed.
+const DirectiveAnalyzer = "directive"
+
+// A Directive is one well-formed //slicer:allow comment.
+type Directive struct {
+	// Analyzer is the single analyzer the directive suppresses.
+	Analyzer string
+	// Reason is the mandatory justification after "--".
+	Reason string
+	// Pos is the comment's position.
+	Pos token.Position
+}
+
+// CollectDirectives scans a package's comments for //slicer:allow
+// directives. Well-formed directives are returned; malformed ones — a
+// missing analyzer name, an analyzer not in known, or a missing "--
+// <reason>" — are returned as diagnostics under the "directive"
+// pseudo-analyzer so a bad suppression can never silently turn a gate off.
+func CollectDirectives(pkg *Package, known map[string]bool) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var diags []Diagnostic
+	report := func(pos token.Position, msg string) {
+		diags = append(diags, Diagnostic{Analyzer: DirectiveAnalyzer, Pos: pos, Message: msg})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //slicer:allowfoo — not our directive.
+					continue
+				}
+				spec, reason, hasReason := strings.Cut(rest, "--")
+				names := strings.Fields(spec)
+				switch {
+				case len(names) == 0:
+					report(pos, "//slicer:allow directive missing analyzer name")
+					continue
+				case len(names) > 1:
+					report(pos, "//slicer:allow directive names more than one analyzer; use one directive per analyzer")
+					continue
+				}
+				name := names[0]
+				if !known[name] {
+					report(pos, "unknown analyzer "+quote(name)+" in //slicer:allow directive")
+					continue
+				}
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					report(pos, "//slicer:allow "+name+" directive missing required reason (\"-- <why this is safe>\")")
+					continue
+				}
+				dirs = append(dirs, Directive{
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+					Pos:      pos,
+				})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// suppressionKey identifies one (file, line, analyzer) suppression slot.
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// applySuppressions drops diagnostics covered by a directive for the same
+// analyzer on the diagnostic's line or the line directly above it.
+// Directive diagnostics themselves are never suppressed.
+func applySuppressions(diags []Diagnostic, dirs []Directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	allowed := make(map[suppressionKey]bool, 2*len(dirs))
+	for _, d := range dirs {
+		allowed[suppressionKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] = true
+		allowed[suppressionKey{d.Pos.Filename, d.Pos.Line + 1, d.Analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !d.Hard && d.Analyzer != DirectiveAnalyzer &&
+			allowed[suppressionKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

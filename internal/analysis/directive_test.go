@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc builds a minimal Package (no type info — directive handling is
+// purely syntactic) from one source string.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{PkgPath: "fixture", Name: f.Name.Name, Fset: fset, Files: []*ast.File{f}}
+}
+
+var knownForTest = map[string]bool{
+	"ctcompare": true, "weakrand": true, "maporder": true, "wallclock": true, "errdrop": true,
+}
+
+func TestCollectDirectivesValid(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//slicer:allow weakrand -- seeded benchmark generator, no key material
+var x int
+`)
+	dirs, diags := CollectDirectives(pkg, knownForTest)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	d := dirs[0]
+	if d.Analyzer != "weakrand" {
+		t.Errorf("analyzer = %q, want weakrand", d.Analyzer)
+	}
+	if d.Reason != "seeded benchmark generator, no key material" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if d.Pos.Line != 3 {
+		t.Errorf("line = %d, want 3", d.Pos.Line)
+	}
+}
+
+// TestCollectDirectivesMalformed asserts that every malformed shape is
+// itself a diagnostic: unknown analyzer, missing reason, missing name,
+// and more than one name.
+func TestCollectDirectivesMalformed(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"//slicer:allow nosuchanalyzer -- because", `unknown analyzer "nosuchanalyzer"`},
+		{"//slicer:allow weakrand", "missing required reason"},
+		{"//slicer:allow weakrand --", "missing required reason"},
+		{"//slicer:allow weakrand --   ", "missing required reason"},
+		{"//slicer:allow", "missing analyzer name"},
+		{"//slicer:allow -- reason with no analyzer", "missing analyzer name"},
+		{"//slicer:allow weakrand errdrop -- two at once", "names more than one analyzer"},
+	}
+	for _, tc := range cases {
+		pkg := parseSrc(t, "package p\n\n"+tc.src+"\nvar x int\n")
+		dirs, diags := CollectDirectives(pkg, knownForTest)
+		if len(dirs) != 0 {
+			t.Errorf("%q: parsed as valid directive %+v", tc.src, dirs[0])
+			continue
+		}
+		if len(diags) != 1 {
+			t.Errorf("%q: got %d diagnostics, want 1", tc.src, len(diags))
+			continue
+		}
+		if !strings.Contains(diags[0].Message, tc.want) {
+			t.Errorf("%q: diagnostic %q does not contain %q", tc.src, diags[0].Message, tc.want)
+		}
+		if diags[0].Analyzer != DirectiveAnalyzer {
+			t.Errorf("%q: reported under %q, want %q", tc.src, diags[0].Analyzer, DirectiveAnalyzer)
+		}
+	}
+}
+
+// TestUnrelatedCommentsIgnored: //slicer:allowfoo and ordinary comments
+// are not directives and produce nothing.
+func TestUnrelatedCommentsIgnored(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//slicer:allowfoo bar
+// plain comment mentioning slicer:allow semantics
+var x int
+`)
+	dirs, diags := CollectDirectives(pkg, knownForTest)
+	if len(dirs) != 0 || len(diags) != 0 {
+		t.Fatalf("got dirs=%v diags=%v, want none", dirs, diags)
+	}
+}
+
+func diagAt(file string, line int, analyzer string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  "m",
+	}
+}
+
+// TestApplySuppressions pins the coverage contract: a directive covers
+// its own line and the next line, only for its named analyzer, never for
+// hard diagnostics or directive-hygiene diagnostics.
+func TestApplySuppressions(t *testing.T) {
+	dir := Directive{
+		Analyzer: "wallclock",
+		Reason:   "r",
+		Pos:      token.Position{Filename: "f.go", Line: 10},
+	}
+	sameLine := diagAt("f.go", 10, "wallclock")
+	nextLine := diagAt("f.go", 11, "wallclock")
+	twoBelow := diagAt("f.go", 12, "wallclock")
+	otherAnalyzer := diagAt("f.go", 10, "errdrop")
+	otherFile := diagAt("g.go", 10, "wallclock")
+	hard := diagAt("f.go", 10, "wallclock")
+	hard.Hard = true
+	hygiene := diagAt("f.go", 10, DirectiveAnalyzer)
+
+	in := []Diagnostic{sameLine, nextLine, twoBelow, otherAnalyzer, otherFile, hard, hygiene}
+	out := applySuppressions(in, []Directive{dir})
+
+	if len(out) != 5 {
+		t.Fatalf("got %d diagnostics after suppression, want 5: %v", len(out), out)
+	}
+	for _, d := range out {
+		if d.Pos.Filename == "f.go" && d.Pos.Line <= 11 && d.Analyzer == "wallclock" && !d.Hard {
+			t.Errorf("diagnostic should have been suppressed: %v", d)
+		}
+	}
+}

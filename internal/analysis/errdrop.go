@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags statements that silently discard an error return — a bare
+// call statement whose callee returns an error that nobody reads. go vet
+// has no such check; in this codebase a swallowed error typically means a
+// verification failure or a wire write that "succeeded" vacuously.
+// Explicit discards (`_ = f()`, `v, _ := f()`) are deliberate and not
+// flagged; `defer f.Close()` is conventional cleanup and not flagged.
+// Known never-fail writers (fmt's Print family, bytes.Buffer,
+// strings.Builder, hash.Hash.Write) are exempt.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flag call statements that silently discard an error result in " +
+		"non-test library code",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Info == nil {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pkg.Info, call) || errDropExempt(pkg.Info, call) {
+				return true
+			}
+			pass.Reportf(stmt.Pos(),
+				"result of %s includes an error that is silently discarded; handle it or discard explicitly with `_ =`",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result tuple contains the error
+// type.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errDropExempt reports whether the callee is on the never-fail
+// allowlist: fmt's Print family (errors only on a broken writer, which
+// every Go program ignores), the documented-infallible bytes.Buffer and
+// strings.Builder, and Write on hash states (hash.Hash documents that
+// Write never returns an error). The hash case keys off the receiver
+// expression's static type — hash.Hash inherits Write from io.Writer, so
+// the method's own receiver package would misleadingly be "io".
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	selExpr, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := info.Selections[selExpr]
+	if !ok {
+		return false
+	}
+	rt := sel.Recv()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	recvPkg, recvName := named.Obj().Pkg().Path(), named.Obj().Name()
+	if (recvPkg == "bytes" && recvName == "Buffer") ||
+		(recvPkg == "strings" && recvName == "Builder") {
+		return true
+	}
+	if fn.Name() == "Write" &&
+		(recvPkg == "hash" || strings.HasPrefix(recvPkg, "hash/") || strings.HasPrefix(recvPkg, "crypto/")) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Fixture tests annotate the offending line with expectation comments:
+//
+//	return bytes.Equal(mac, want) // want `not constant time`
+//
+// Each backquoted (or double-quoted) string is a regexp that must match
+// the message of exactly one diagnostic reported on that line; every
+// diagnostic must in turn be claimed by an expectation. CheckExpectations
+// returns human-readable failures, empty when the run matches exactly —
+// the same contract as x/tools' analysistest, reimplemented here because
+// the framework is stdlib-only.
+
+// wantRe matches the expectation marker and its argument list.
+var wantRe = regexp.MustCompile("// *want +(.*)$")
+
+// wantArgRe matches one quoted regexp in a want comment's argument list.
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one want-pattern with match bookkeeping.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	line    int
+	file    string
+	matched bool
+}
+
+// collectExpectations parses every want comment in the package.
+func collectExpectations(pkg *Package) ([]*expectation, error) {
+	var exps []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s: want comment has no quoted patterns", pos)
+				}
+				for _, a := range args {
+					raw := a[1]
+					if raw == "" {
+						raw = a[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					exps = append(exps, &expectation{
+						re: re, raw: raw, line: pos.Line, file: pos.Filename,
+					})
+				}
+			}
+		}
+	}
+	return exps, nil
+}
+
+// CheckExpectations compares a diagnostic list against the package's
+// `// want` comments and returns one failure string per mismatch:
+// diagnostics nobody expected and expectations nothing matched.
+func CheckExpectations(pkg *Package, diags []Diagnostic) []string {
+	exps, err := collectExpectations(pkg)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var failures []string
+	for _, d := range diags {
+		claimed := false
+		for _, e := range exps {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			failures = append(failures,
+				fmt.Sprintf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message))
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			failures = append(failures,
+				fmt.Sprintf("%s:%d: no diagnostic matched want pattern %q", e.file, e.line, e.raw))
+		}
+	}
+	sort.Strings(failures)
+	return failures
+}
+
+// TrimPositions rewrites absolute fixture paths in failure strings to
+// their base name, keeping test output readable.
+func TrimPositions(failures []string, dir string) []string {
+	out := make([]string, len(failures))
+	for i, f := range failures {
+		out[i] = strings.ReplaceAll(f, dir+string('/'), "")
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// MapOrder enforces the history-independence invariant from the paper's
+// dictionary construction: Go's map iteration order is deliberately
+// randomized, so a `for range` over a map whose body feeds a hash,
+// serializer or wire writer produces bytes that depend on insertion
+// history and process randomness — two honest parties computing "the same"
+// digest would disagree. The analyzer flags map ranges whose body reaches
+// a serialization/hash sink; the fix is to collect the keys, sort them,
+// and range over the sorted slice (collect-then-sort loops are not
+// flagged, because appending to a slice is not a sink).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag `for range` over a map whose body reaches a " +
+		"serialization/hash/wire sink; iterate over sorted keys instead",
+	Run: runMapOrder,
+}
+
+// sinkMethods are method names that commit bytes to an order-sensitive
+// consumer: hash states, encoders, string/byte builders and writers.
+var sinkMethods = map[string]bool{
+	"Write":         true,
+	"WriteString":   true,
+	"WriteByte":     true,
+	"WriteRune":     true,
+	"Sum":           true,
+	"Encode":        true,
+	"EncodeElement": true,
+	"Marshal":       true,
+	"MarshalBinary": true,
+	"AppendBinary":  true,
+}
+
+// sinkFunc matches package-level functions that serialize their
+// arguments (json.Marshal, binary.Write, custom encodeFoo/hashBar
+// helpers). fmt's Fprint family is included because its writer is
+// frequently a hash or a wire connection.
+var sinkFunc = regexp.MustCompile(`^(Marshal|Encode|Serialize|Hash|Digest|Sum|Fprint|Append)`)
+
+func runMapOrder(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Info == nil {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(pkg.Info, rng.Body); sink != nil {
+				pass.Reportf(rng.For,
+					"iteration over map %s reaches serialization/hash sink %s; map order is randomized — collect and sort the keys first (history independence)",
+					types.ExprString(rng.X), types.ExprString(sink.Fun))
+			}
+			return true
+		})
+	}
+}
+
+// findSink returns the first serialization/hash call inside the loop
+// body, or nil.
+func findSink(info *types.Info, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if _, isMethod := info.Selections[fun]; isMethod {
+				if sinkMethods[fun.Sel.Name] {
+					found = call
+				}
+				return true
+			}
+			// Qualified package function: pkg.Marshal, fmt.Fprintf, ...
+			if sinkFunc.MatchString(fun.Sel.Name) {
+				found = call
+			}
+		case *ast.Ident:
+			// Local helper: encodeEntry(...), hashLeaf(...). Builtins
+			// (append, copy, len) resolve to nil *types.Func and are
+			// never sinks.
+			if fn, ok := info.Uses[fun].(*types.Func); ok && sinkFuncName(fn.Name()) {
+				found = call
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sinkFuncName applies the sink pattern case-insensitively on the first
+// rune so unexported helpers (encodeFoo, hashLeaf) match too.
+func sinkFuncName(name string) bool {
+	if name == "" {
+		return false
+	}
+	upper := name
+	if c := name[0]; c >= 'a' && c <= 'z' {
+		upper = string(c-'a'+'A') + name[1:]
+	}
+	return sinkFunc.MatchString(upper)
+}

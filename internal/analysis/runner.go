@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Run executes the analyzers over each package, applies //slicer:allow
+// suppressions, folds in directive-hygiene diagnostics and returns the
+// surviving findings in deterministic order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg == nil {
+			continue
+		}
+		dirs, dirDiags := CollectDirectives(pkg, known)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			raw = append(raw, pass.diags...)
+		}
+		all = append(all, applySuppressions(raw, dirs)...)
+		all = append(all, dirDiags...)
+	}
+	SortDiagnostics(all)
+	return all
+}
+
+// Report is the machine-readable form of one slicer-vet run, written by
+// the driver's -json mode and uploaded as a CI artifact.
+type Report struct {
+	// Module is the module path that was analyzed.
+	Module string `json:"module"`
+	// Packages counts the packages loaded.
+	Packages int `json:"packages"`
+	// Diagnostics are the surviving findings, sorted.
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+// jsonDiagnostic flattens token.Position for stable JSON output.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Hard     bool   `json:"hard,omitempty"`
+}
+
+// WriteJSON renders a Report for the given run.
+func WriteJSON(w io.Writer, module string, packages int, diags []Diagnostic) error {
+	rep := Report{
+		Module:      module,
+		Packages:    packages,
+		Diagnostics: make([]jsonDiagnostic, 0, len(diags)),
+	}
+	for _, d := range diags {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+			Hard:     d.Hard,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

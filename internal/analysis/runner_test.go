@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestLoadDirRealPackage exercises the module loader against a real
+// package from this repository (hprime has only stdlib dependencies, so
+// it stays cheap).
+func TestLoadDirRealPackage(t *testing.T) {
+	loader, err := fixtureLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(loader.ModuleRoot, "internal", "hprime"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg == nil || pkg.Name != "hprime" {
+		t.Fatalf("loaded %+v, want package hprime", pkg)
+	}
+	if pkg.PkgPath != "slicer/internal/hprime" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("typecheck: %v", terr)
+	}
+	if len(pkg.Files) == 0 {
+		t.Error("no files loaded")
+	}
+}
+
+// TestRunDeterministicOrder: two identical runs over the same fixture
+// packages produce byte-identical diagnostic lists — CI output and the
+// JSON artifact must not depend on map-iteration order.
+func TestRunDeterministicOrder(t *testing.T) {
+	pkgs := []*Package{
+		loadFixture(t, "ctcompare/prf"),
+		loadFixture(t, "errdrop/drops"),
+	}
+	first := Run(pkgs, All())
+	second := Run(pkgs, All())
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("non-deterministic runner output:\n%v\nvs\n%v", first, second)
+	}
+	if len(first) == 0 {
+		t.Fatal("fixtures produced no diagnostics at all")
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Pos.Filename > b.Pos.Filename {
+			t.Errorf("diagnostics not sorted by file: %s after %s", b.Pos.Filename, a.Pos.Filename)
+		}
+	}
+}
+
+// TestWriteJSON pins the machine-readable report shape the CI artifact
+// depends on.
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "ctcompare",
+			Pos:      token.Position{Filename: "internal/contract/slicer.go", Line: 410, Column: 6},
+			Message:  "not constant time",
+		},
+		{
+			Analyzer: "weakrand",
+			Pos:      token.Position{Filename: "internal/prf/prf.go", Line: 3, Column: 2},
+			Message:  "weak PRNG next to key material",
+			Hard:     true,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "slicer", 29, diags); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Module      string `json:"module"`
+		Packages    int    `json:"packages"`
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+			Hard     bool   `json:"hard"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Module != "slicer" || rep.Packages != 29 || len(rep.Diagnostics) != 2 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	d := rep.Diagnostics[0]
+	if d.Analyzer != "ctcompare" || d.File != "internal/contract/slicer.go" || d.Line != 410 || d.Column != 6 {
+		t.Errorf("diagnostic 0 wrong: %+v", d)
+	}
+	if !rep.Diagnostics[1].Hard {
+		t.Error("hard flag lost in JSON round trip")
+	}
+}
+
+// TestEmptyReportHasEmptyArray: a clean run serializes diagnostics as []
+// (not null) so jq-style tooling can always index it.
+func TestEmptyReportHasEmptyArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "slicer", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"diagnostics": []`)) {
+		t.Fatalf("empty report should carry an empty array:\n%s", buf.String())
+	}
+}

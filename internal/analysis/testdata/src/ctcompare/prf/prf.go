@@ -1,0 +1,51 @@
+// Package prf is a ctcompare fixture mirroring one of Slicer's crypto
+// packages (matched by the final import-path element): every
+// short-circuiting comparison of secret-derived bytes must be flagged,
+// constant-time comparisons and non-secret payloads must not.
+package prf
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/subtle"
+	"reflect"
+)
+
+// Tag is digest-typed value; the type name marks it secret-derived.
+type Tag [16]byte
+
+// VerifyMAC compares MACs with a short-circuiting comparison.
+func VerifyMAC(mac, other []byte) bool {
+	return bytes.Equal(mac, other) // want `bytes.Equal on secret-derived value mac is not constant time`
+}
+
+// VerifyTag compares two digest arrays with ==.
+func VerifyTag(a, b Tag) bool {
+	return a == b // want `== comparison of secret-derived value a is not constant time`
+}
+
+// RejectTag compares two digest arrays with !=.
+func RejectTag(a, b Tag) bool {
+	return a != b // want `!= comparison of secret-derived value a is not constant time`
+}
+
+// DeepVerify compares key material reflectively.
+func DeepVerify(key, other []byte) bool {
+	return reflect.DeepEqual(key, other) // want `reflect.DeepEqual on secret-derived value key is not constant time`
+}
+
+// VerifyOK compares in constant time; not flagged.
+func VerifyOK(mac, other []byte) bool {
+	return hmac.Equal(mac, other) && subtle.ConstantTimeCompare(mac, other) == 1
+}
+
+// Payloads compares non-secret bytes; not flagged.
+func Payloads(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}
+
+// LenGuard compares a digest against a constant; length/sentinel checks
+// are not comparisons of two secrets and are not flagged.
+func LenGuard(digest string) bool {
+	return digest == ""
+}

@@ -1,0 +1,50 @@
+// Package drops is an errdrop fixture: bare call statements that discard
+// an error return are flagged; explicit discards, deferred cleanup and
+// the documented never-fail writers are not.
+package drops
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// flaky returns an error someone should read.
+func flaky() error { return nil }
+
+// pair returns a value and an error.
+func pair() (int, error) { return 0, nil }
+
+// Discards silently drops errors (both flagged).
+func Discards() {
+	flaky() // want `result of flaky includes an error that is silently discarded`
+	pair()  // want `result of pair includes an error that is silently discarded`
+}
+
+// Explicit discards are deliberate; not flagged.
+func Explicit() {
+	_ = flaky()
+	n, _ := pair()
+	_ = n
+}
+
+// Exempt writers are documented never to fail; not flagged.
+func Exempt() {
+	fmt.Println("ok")
+	var b strings.Builder
+	b.WriteString("ok")
+	h := sha256.New()
+	h.Write([]byte("ok"))
+	h.Sum(nil)
+}
+
+// Deferred cleanup is conventional; not flagged.
+func Deferred(f *os.File) {
+	defer f.Close()
+}
+
+// Probe is fire-and-forget and says so.
+func Probe() {
+	flaky() //slicer:allow errdrop -- fire-and-forget probe; failure is expected and harmless
+}

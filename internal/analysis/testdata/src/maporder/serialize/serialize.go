@@ -1,0 +1,68 @@
+// Package serialize is a maporder fixture: a `for range` over a map whose
+// body reaches a hash/serialization sink is history-dependent (Go
+// randomizes map order) and must be flagged; collect-then-sort loops and
+// pure aggregation must not.
+package serialize
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DigestUnsorted hashes entries in randomized map order (flagged).
+func DigestUnsorted(m map[string][]byte) [32]byte {
+	h := sha256.New()
+	for k, v := range m { // want `iteration over map m reaches serialization/hash sink h.Write`
+		h.Write([]byte(k))
+		h.Write(v)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Dump writes entries in map order to a writer (flagged — the writer may
+// be a wire connection or a hash).
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `reaches serialization/hash sink fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// DigestSorted collects and sorts the keys first; the collection loop
+// appends only (append is not a sink) and the hashing loop ranges over a
+// slice. History independent, not flagged.
+func DigestSorted(m map[string][]byte) [32]byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write(m[k])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// CountValues only aggregates; no sink, not flagged.
+func CountValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// DebugDump is order-sensitive on purpose and carries the justification.
+func DebugDump(w io.Writer, m map[string]int) {
+	//slicer:allow maporder -- human-readable debug dump; bytes never hashed, signed or sent on the wire
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,27 @@
+// Package core is a wallclock fixture mirroring a deterministic protocol
+// package (matched by the final import-path element): wall-clock reads
+// must be flagged unless they come through an injected clock or carry an
+// instrumentation directive.
+package core
+
+import "time"
+
+// Seal stamps with the wall clock (the violation under test).
+func Seal() time.Time {
+	return time.Now() // want `time.Now in deterministic protocol package "core"`
+}
+
+// Age measures with time.Since (also a wall-clock read).
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since in deterministic protocol package "core"`
+}
+
+// statsNow is the sanctioned pattern: a single annotated default that
+// instrumentation reads through, overridable in tests.
+var statsNow = time.Now //slicer:allow wallclock -- instrumentation-only default; deterministic callers override
+
+// SealWith uses an injected clock; not flagged.
+func SealWith(now func() time.Time) time.Time { return now() }
+
+// Elapsed reads through the annotated package clock; not flagged.
+func Elapsed(start time.Time) time.Duration { return statsNow().Sub(start) }

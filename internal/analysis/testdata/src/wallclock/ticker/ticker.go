@@ -1,0 +1,9 @@
+// Package ticker is a wallclock fixture outside the deterministic
+// protocol set: observability and serving code may read the wall clock
+// freely.
+package ticker
+
+import "time"
+
+// Uptime reads the wall clock without ceremony.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,12 @@
+// Package adjacent is a weakrand fixture for a package that touches key
+// material at one remove (it imports crypto/*): the finding calls the
+// proximity out but remains suppressible with a reason.
+package adjacent
+
+import (
+	"crypto/sha256"
+	"math/rand" // want `touches key material through its imports`
+)
+
+// Mix hashes a weakly-random value (the juxtaposition under test).
+func Mix() [32]byte { return sha256.Sum256([]byte{byte(rand.Intn(256))}) }

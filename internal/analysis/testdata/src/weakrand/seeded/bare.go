@@ -1,0 +1,8 @@
+package seeded
+
+import (
+	// A directive names exactly one analyzer: this wallclock annotation
+	// must not silence the weakrand finding below.
+	//slicer:allow wallclock -- wrong analyzer on purpose
+	_ "math/rand" // want `requires an explicit //slicer:allow weakrand`
+)

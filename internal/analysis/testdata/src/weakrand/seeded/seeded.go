@@ -1,0 +1,12 @@
+// Package seeded is a weakrand fixture outside the crypto perimeter: a
+// reasoned //slicer:allow weakrand directive on the import line
+// suppresses the finding (deterministic benchmark seeding is the one
+// sanctioned use).
+package seeded
+
+import (
+	"math/rand" //slicer:allow weakrand -- deterministic fixture seeding
+)
+
+// Roll is deterministic under a seed.
+func Roll(seed int64) int { return rand.New(rand.NewSource(seed)).Intn(6) }

@@ -1,0 +1,12 @@
+// Package trapdoor is a weakrand fixture for a crypto package: math/rand
+// next to key material is a hard diagnostic that even a well-formed
+// directive must NOT suppress.
+package trapdoor
+
+import (
+	//slicer:allow weakrand -- this annotation must not work inside a crypto package
+	"math/rand" // want `import of math/rand inside crypto package "trapdoor"`
+)
+
+// Sample uses the weak PRNG (the violation under test).
+func Sample() int { return rand.Int() }

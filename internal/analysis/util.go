@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function, method, or interface method), or nil for
+// builtins, conversions and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pkgBase returns the last element of an import path — the conventional
+// package name analyzers use to recognize Slicer's crypto and protocol
+// packages (fixtures under testdata mirror the same base names).
+func pkgBase(pkgPath string) string {
+	return path.Base(pkgPath)
+}
+
+// unwrapOperand strips the syntax around the value actually being
+// compared: parens, slice expressions (mac[:]), index expressions,
+// unary & / * and type conversions with a single argument.
+func unwrapOperand(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// exprWords returns the identifier words reachable on an expression's
+// spine: the base identifier and any selector fields (x.ProofDigest →
+// ["x", "ProofDigest"]). Call results contribute the callee name, so
+// sha256.Sum256(...) carries no sensitive word but ctx.Hash(...) does.
+func exprWords(e ast.Expr) []string {
+	var words []string
+	for e != nil {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return append(words, v.Name)
+		case *ast.SelectorExpr:
+			words = append(words, v.Sel.Name)
+			e = v.X
+		case *ast.CallExpr:
+			e = ast.Unparen(v.Fun)
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return words
+		}
+	}
+	return words
+}
+
+// namedTypeNames collects the names of the named/alias types along an
+// expression type's definition chain, including element types of slices,
+// arrays and pointers (so []chain.Hash yields "Hash").
+func namedTypeNames(t types.Type) []string {
+	var names []string
+	seen := 0
+	for t != nil && seen < 8 {
+		seen++
+		switch v := t.(type) {
+		case *types.Alias:
+			names = append(names, v.Obj().Name())
+			t = types.Unalias(v)
+		case *types.Named:
+			names = append(names, v.Obj().Name())
+			t = v.Underlying()
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Slice:
+			t = v.Elem()
+		case *types.Array:
+			t = v.Elem()
+		default:
+			return names
+		}
+	}
+	return names
+}
+
+// isByteSequence reports whether t's underlying type is []byte, [N]byte
+// or string — the shapes secret material travels in.
+func isByteSequence(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByte(u.Elem())
+	case *types.Array:
+		return isByte(u.Elem())
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// importsPathPrefix reports whether the package directly imports any path
+// equal to or under the given prefix.
+func importsPathPrefix(pkg *Package, prefix string) bool {
+	if pkg.Types == nil {
+		return false
+	}
+	for _, imp := range pkg.Types.Imports() {
+		p := imp.Path()
+		if p == prefix || strings.HasPrefix(p, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}

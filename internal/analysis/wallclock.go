@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPackages names the packages (by final import-path element)
+// whose output must be a pure function of their inputs: the protocol core
+// (PR 1 promised byte-identical search results at any worker count), the
+// consensus layer (every validator must re-derive the proposer's exact
+// block), the on-chain contract (gas and state must replay identically)
+// and the order-revealing encryption.
+var DeterministicPackages = map[string]bool{
+	"core":     true,
+	"chain":    true,
+	"contract": true,
+	"sore":     true,
+}
+
+// wallclockFuncs are the time package reads that smuggle wall-clock
+// nondeterminism into protocol output.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// WallClock forbids time.Now / time.Since / time.Until in deterministic
+// protocol packages. Sealed blocks stamped with the proposer's wall clock
+// cannot be re-derived by a validator, and timing reads on the search
+// path break replay. Inject a clock instead (`now func() time.Time`,
+// defaulting to time.Now at a single annotated site); pure
+// instrumentation reads carry //slicer:allow wallclock -- <reason>.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Until in deterministic protocol " +
+		"packages; inject a clock or annotate instrumentation",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	pkg := pass.Pkg
+	if !DeterministicPackages[pkgBase(pkg.PkgPath)] || pkg.Info == nil {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isPkgFunc(fn, "time", sel.Sel.Name) || !wallclockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in deterministic protocol package %q; inject a clock (now func() time.Time) or annotate instrumentation with //slicer:allow wallclock -- <reason>",
+				sel.Sel.Name, pkg.Name)
+			return true
+		})
+	}
+}

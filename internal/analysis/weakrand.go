@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// WeakRand forbids math/rand (and math/rand/v2) anywhere near key
+// material: a package that is itself one of the crypto packages, or that
+// directly imports crypto/* or one of the module's crypto packages, must
+// never see a non-cryptographic PRNG — a refactor that swaps a
+// crypto/rand read for a math/rand one silently destroys the
+// forward-secure trapdoor chain. Elsewhere (seeded benchmark workloads,
+// the OPE baseline) the import is allowed only under an explicit
+// //slicer:allow weakrand directive with a reason.
+var WeakRand = &Analyzer{
+	Name: "weakrand",
+	Doc: "forbid math/rand in packages touching key material; elsewhere " +
+		"require //slicer:allow weakrand -- <reason> on the import",
+	Run: runWeakRand,
+}
+
+func runWeakRand(pass *Pass) {
+	pkg := pass.Pkg
+	inCrypto := CryptoPackages[pkgBase(pkg.PkgPath)]
+	adjacent := cryptoAdjacent(pkg)
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip != "math/rand" && ip != "math/rand/v2" {
+				continue
+			}
+			switch {
+			case inCrypto:
+				pass.ReportHardf(imp.Pos(),
+					"import of %s inside crypto package %q; use crypto/rand (no directive can make a weak PRNG safe next to key material — move the code out of the crypto package instead)",
+					ip, pkg.Name)
+			case adjacent:
+				pass.Reportf(imp.Pos(),
+					"import of %s in package %q, which touches key material through its imports; use crypto/rand, or justify seed-scoped use with //slicer:allow weakrand -- <reason> on this line",
+					ip, pkg.Name)
+			default:
+				pass.Reportf(imp.Pos(),
+					"import of %s requires an explicit //slicer:allow weakrand -- <reason> directive on this line (deterministic seeding for benchmarks/baselines is the only expected use)",
+					ip)
+			}
+		}
+	}
+}
+
+// cryptoAdjacent reports whether the package touches key material at one
+// remove: it directly imports crypto/* or one of the module's crypto
+// packages.
+func cryptoAdjacent(pkg *Package) bool {
+	if pkg.Types == nil {
+		return false
+	}
+	for _, imp := range pkg.Types.Imports() {
+		p := imp.Path()
+		if p == "crypto" || strings.HasPrefix(p, "crypto/") {
+			return true
+		}
+		if CryptoPackages[pkgBase(p)] {
+			return true
+		}
+	}
+	return false
+}

@@ -15,7 +15,7 @@ package baseline
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand" //slicer:allow weakrand -- seed-scoped gap-splitting for the OPE baseline; encodes no key material and must stay deterministic under a seed
 	"sort"
 )
 

@@ -2,7 +2,7 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //slicer:allow weakrand -- seeded query sampling for benchmarks; never touches the deployment's keys
 	"time"
 
 	"slicer/internal/core"

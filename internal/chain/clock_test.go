@@ -1,0 +1,127 @@
+package chain
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic clock pinned to a single instant.
+func fixedClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
+}
+
+// TestSealBlockFixedClock: with an injected clock, sealing is fully
+// deterministic — two independent nodes with the same genesis and the
+// same clock produce byte-identical blocks (equal hashes), which is what
+// lets consensus tests replay exactly and what the wallclock analyzer
+// exists to protect.
+func TestSealBlockFixedClock(t *testing.T) {
+	val := AddressFromString("validator-0")
+	instant := time.Unix(1700000000, 42).UTC()
+
+	mk := func() *Node {
+		node, err := NewNode(Config{
+			Identity:   val,
+			Registry:   NewRegistry(),
+			Validators: []Address{val},
+			Now:        fixedClock(instant),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return node
+	}
+
+	a, b := mk(), mk()
+	blockA, err := a.SealBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockB, err := b.SealBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blockA.Header.Time.Equal(instant) {
+		t.Fatalf("sealed time = %v, want injected %v", blockA.Header.Time, instant)
+	}
+	if blockA.Hash() != blockB.Hash() {
+		t.Fatalf("same genesis + same clock produced different blocks: %s vs %s",
+			blockA.Hash(), blockB.Hash())
+	}
+}
+
+// TestImportBlockIgnoresLocalClock: a validator with a wildly different
+// clock still accepts and re-derives the proposer's block — validation
+// adopts the header time rather than consulting time.Now, so consensus
+// cannot fork on clock skew.
+func TestImportBlockIgnoresLocalClock(t *testing.T) {
+	proposerAddr := AddressFromString("proposer")
+	followerAddr := AddressFromString("follower")
+	validators := []Address{proposerAddr, followerAddr}
+	registry := NewRegistry()
+
+	proposer, err := NewNode(Config{
+		Identity:   proposerAddr,
+		Registry:   registry,
+		Validators: validators,
+		Now:        fixedClock(time.Unix(1700000000, 0).UTC()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The follower's clock is a decade away from the proposer's.
+	follower, err := NewNode(Config{
+		Identity:   followerAddr,
+		Registry:   registry,
+		Validators: validators,
+		Now:        fixedClock(time.Unix(2000000000, 0).UTC()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	block, err := proposer.SealBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ImportBlock(block); err != nil {
+		t.Fatalf("import with skewed clock: %v", err)
+	}
+	if follower.Head().Hash() != block.Hash() {
+		t.Fatalf("follower head %s diverges from proposer block %s",
+			follower.Head().Hash(), block.Hash())
+	}
+}
+
+// TestNetworkWithClockDeterministicStep: the injected clock flows through
+// NewNetworkWithClock to every node, so a whole-network step is
+// reproducible.
+func TestNetworkWithClockDeterministicStep(t *testing.T) {
+	vals := []Address{AddressFromString("v0"), AddressFromString("v1"), AddressFromString("v2")}
+	instant := time.Unix(1700000001, 0).UTC()
+	mk := func() *Network {
+		net, err := NewNetworkWithClock(NewRegistry(), vals, nil, fixedClock(instant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	netA, netB := mk(), mk()
+	blockA, err := netA.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockB, err := netB.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blockA.Hash() != blockB.Hash() {
+		t.Fatalf("two identically-configured networks stepped to different blocks: %s vs %s",
+			blockA.Hash(), blockB.Hash())
+	}
+	for _, node := range netA.Nodes() {
+		if node.Head().Hash() != blockA.Hash() {
+			t.Fatalf("node %s did not adopt the stepped block", node.Identity())
+		}
+	}
+}

@@ -2,6 +2,7 @@ package chain
 
 import (
 	"fmt"
+	"time"
 )
 
 // Network wires a set of nodes into an in-process proof-of-authority
@@ -15,8 +16,17 @@ type Network struct {
 }
 
 // NewNetwork creates a network of nodes sharing a genesis configuration.
-// One node is created per validator.
+// One node is created per validator; blocks are stamped with the wall
+// clock.
 func NewNetwork(registry *Registry, validators []Address, genesisAlloc map[Address]uint64) (*Network, error) {
+	return NewNetworkWithClock(registry, validators, genesisAlloc, nil)
+}
+
+// NewNetworkWithClock is NewNetwork with an injected block-timestamp
+// clock (nil means the wall clock). Deterministic consensus tests pass a
+// fixed clock so every sealed block — and therefore every block hash —
+// is reproducible byte-for-byte.
+func NewNetworkWithClock(registry *Registry, validators []Address, genesisAlloc map[Address]uint64, now func() time.Time) (*Network, error) {
 	if len(validators) == 0 {
 		return nil, fmt.Errorf("chain: network needs at least one validator")
 	}
@@ -27,6 +37,7 @@ func NewNetwork(registry *Registry, validators []Address, genesisAlloc map[Addre
 			Registry:     registry,
 			Validators:   validators,
 			GenesisAlloc: genesisAlloc,
+			Now:          now,
 		})
 		if err != nil {
 			return nil, err

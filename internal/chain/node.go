@@ -18,6 +18,11 @@ type Node struct {
 	blocks   []*Block
 	pending  []*Transaction
 	receipts map[Hash]*Receipt
+
+	// now supplies block timestamps when this node proposes. Validation
+	// never consults it: imported blocks adopt the proposer's header
+	// time, so clock skew cannot fork consensus.
+	now func() time.Time
 }
 
 // Config configures a node.
@@ -31,6 +36,10 @@ type Config struct {
 	Validators []Address
 	// GenesisAlloc pre-funds accounts.
 	GenesisAlloc map[Address]uint64
+	// Now supplies block timestamps when this node seals; nil defaults
+	// to the wall clock. Deterministic tests inject a fixed clock so two
+	// identically-configured nodes seal byte-identical blocks.
+	Now func() time.Time
 }
 
 // NewNode creates a node at genesis.
@@ -54,6 +63,10 @@ func NewNode(cfg Config) (*Node, error) {
 	}}
 	vals := make([]Address, len(cfg.Validators))
 	copy(vals, cfg.Validators)
+	now := cfg.Now
+	if now == nil {
+		now = time.Now //slicer:allow wallclock -- injected default clock; deterministic callers supply Config.Now
+	}
 	return &Node{
 		identity:   cfg.Identity,
 		registry:   cfg.Registry,
@@ -61,6 +74,7 @@ func NewNode(cfg Config) (*Node, error) {
 		state:      st,
 		blocks:     []*Block{genesis},
 		receipts:   make(map[Hash]*Receipt),
+		now:        now,
 	}, nil
 }
 
@@ -241,7 +255,7 @@ func (n *Node) SealBlock() (*Block, error) {
 		Header: Header{
 			ParentHash:  n.Head().Hash(),
 			Number:      number,
-			Time:        time.Now(),
+			Time:        n.now(),
 			Proposer:    n.identity,
 			TxRoot:      TxRoot(txs),
 			ReceiptRoot: ReceiptRoot(receipts),

@@ -1,7 +1,7 @@
 package contract
 
 import (
-	"bytes"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"math/big"
@@ -407,7 +407,7 @@ func (s *Slicer) submitResult(ctx *chain.CallCtx, data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !bytes.Equal(pd[:], wantPD[:]) {
+	if subtle.ConstantTimeCompare(pd[:], wantPD[:]) != 1 {
 		return nil, errors.New("contract: accumulator parameters do not match deployment digest")
 	}
 	pp, err := decodeAccParams(paramsBytes)
@@ -431,7 +431,7 @@ func (s *Slicer) submitResult(ctx *chain.CallCtx, data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !bytes.Equal(ad[:], wantAD[:]) {
+	if subtle.ConstantTimeCompare(ad[:], wantAD[:]) != 1 {
 		return nil, errors.New("contract: submitted Ac is stale (freshness check failed)")
 	}
 	ac := new(big.Int).SetBytes(acBytes)
@@ -463,7 +463,7 @@ func (s *Slicer) submitResult(ctx *chain.CallCtx, data []byte) ([]byte, error) {
 		return nil, err
 	}
 
-	valid := bytes.Equal(th[:], wantTH[:])
+	valid := subtle.ConstantTimeCompare(th[:], wantTH[:]) == 1
 	if valid {
 		for _, res := range results {
 			ok, err := verifyMetered(ctx, pp.n, pp.g, ac, res)

@@ -8,7 +8,7 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //slicer:allow weakrand -- seeded synthetic dataset/query generation; reproducible experiments require a deterministic PRNG
 
 	"slicer/internal/core"
 )

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	slicer-chain -listen 0.0.0.0:7402 -validators 3 -fund owner,user,cloud
+//	slicer-chain -listen 0.0.0.0:7402 -validators 3 -fund owner,user,cloud -data-dir /var/lib/slicer-chain
+//
+// With -data-dir every sealed block is journaled to a write-ahead log
+// before the step is acknowledged and the chain is periodically folded
+// into an atomic snapshot; a restart (crash included) replays blocks
+// through full validation back to the exact state and receipt roots.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"slicer/internal/chain"
 	"slicer/internal/contract"
+	"slicer/internal/durable"
 	"slicer/internal/obs"
 	"slicer/internal/wire"
 )
@@ -35,7 +41,10 @@ func run() error {
 		validators = flag.Int("validators", 3, "number of PoA validators")
 		fund       = flag.String("fund", "owner,user,cloud", "comma-separated account names to pre-fund")
 		balance    = flag.Uint64("balance", 1<<40, "genesis balance per funded account")
-		snapshot   = flag.String("snapshot", "", "path for chain persistence: replayed at boot if present, written at shutdown")
+		dataDir    = flag.String("data-dir", "", "durable data directory: block WAL + snapshots, crash-safe recovery at boot")
+		fsync      = flag.String("fsync", "always", "WAL durability: always, never, or a flush interval like 100ms")
+		snapEvery  = flag.Int("snapshot-every", 0, "fold the chain into a snapshot every N sealed blocks (0: default 256, <0: off)")
+		snapshot   = flag.String("snapshot", "", "deprecated: single-file persistence, replayed at boot and written at shutdown; prefer -data-dir")
 		admin      = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log format: text or json")
@@ -77,6 +86,10 @@ func run() error {
 		return err
 	}
 
+	if *dataDir != "" && *snapshot != "" {
+		return fmt.Errorf("-data-dir and -snapshot are mutually exclusive (migrate by booting once with -snapshot, shutting down, then switching to -data-dir)")
+	}
+
 	// Replay a persisted chain, if any, into every node.
 	if *snapshot != "" {
 		if data, err := os.ReadFile(*snapshot); err == nil {
@@ -104,6 +117,25 @@ func run() error {
 
 	srv := wire.NewChainServer(network)
 	srv.SetObservability(reg, logger)
+	if *dataDir != "" {
+		policy, interval, err := durable.ParsePolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		stats, err := srv.EnableDurability(wire.DurabilityOptions{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			FsyncInterval: interval,
+			SnapshotEvery: *snapEvery,
+			Registry:      reg,
+			Logger:        logger,
+		})
+		if err != nil {
+			return fmt.Errorf("durability: %w", err)
+		}
+		fmt.Printf("recovered from %s: snapshot@%d, %d blocks replayed, %d skipped, %d truncated; height %d\n",
+			*dataDir, stats.SnapshotIndex, stats.Replayed, stats.Skipped, stats.Truncated, network.Leader().Height())
+	}
 	srv.Server().SetIdleTimeout(*idle)
 	srv.Traces().SetCapacity(*traceCap)
 	srv.Traces().SetSampling(*traceSmpl)
@@ -132,7 +164,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("export snapshot: %w", err)
 		}
-		if err := os.WriteFile(*snapshot, data, 0o644); err != nil {
+		if err := durable.AtomicWriteFile(*snapshot, data, 0o600); err != nil {
 			return fmt.Errorf("write snapshot: %w", err)
 		}
 		fmt.Printf("persisted %d blocks to %s\n", network.Leader().Height(), *snapshot)

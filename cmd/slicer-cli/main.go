@@ -26,6 +26,7 @@ import (
 	"slicer/internal/chain"
 	"slicer/internal/contract"
 	"slicer/internal/core"
+	"slicer/internal/durable"
 	"slicer/internal/obs"
 	"slicer/internal/wire"
 	"slicer/internal/workload"
@@ -111,8 +112,10 @@ func saveState(path string, st *cliState) error {
 	if err != nil {
 		return err
 	}
-	// The blob holds all deployment secrets; keep it owner-readable only.
-	return os.WriteFile(path, data, 0o600)
+	// The blob holds all deployment secrets; keep it owner-readable only,
+	// and write it atomically so an interrupted save can never leave a
+	// torn file where the only copy of the keys used to be.
+	return durable.AtomicWriteFile(path, data, 0o600)
 }
 
 func parseRecords(random int, bits int, values string, firstSeed int64) ([]core.Record, error) {

@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	slicer-cloud -listen 0.0.0.0:7401
+//	slicer-cloud -listen 0.0.0.0:7401 -data-dir /var/lib/slicer-cloud
 //
 // The server starts empty; a data owner initializes it over the wire
-// protocol (see cmd/slicer-cli and examples/distributed).
+// protocol (see cmd/slicer-cli and examples/distributed). With -data-dir
+// every state-mutating RPC is journaled to a write-ahead log before it is
+// acknowledged and the full state is periodically folded into an atomic
+// snapshot, so a crash (kill -9 included) recovers to the exact
+// acknowledged state on restart.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"slicer/internal/durable"
 	"slicer/internal/obs"
 	"slicer/internal/wire"
 )
@@ -30,7 +35,10 @@ func main() {
 
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:7401", "address to listen on")
-	state := flag.String("state", "", "path for cloud persistence: restored at boot if present, written at shutdown")
+	dataDir := flag.String("data-dir", "", "durable data directory: WAL + snapshots, crash-safe recovery at boot")
+	fsync := flag.String("fsync", "always", "WAL durability: always, never, or a flush interval like 100ms")
+	snapEvery := flag.Int("snapshot-every", 0, "fold state into a snapshot every N journaled records (0: default 256, <0: off)")
+	state := flag.String("state", "", "deprecated: single-file persistence, restored at boot and written at shutdown; prefer -data-dir")
 	admin := flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
@@ -57,6 +65,28 @@ func run() error {
 		}
 		defer adm.Close()
 		fmt.Printf("slicer-cloud: admin endpoint on http://%s/metrics\n", adm.Addr())
+	}
+	if *dataDir != "" && *state != "" {
+		return fmt.Errorf("-data-dir and -state are mutually exclusive (migrate by booting once with -state, shutting down, then switching to -data-dir)")
+	}
+	if *dataDir != "" {
+		policy, interval, err := durable.ParsePolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		stats, err := srv.EnableDurability(wire.DurabilityOptions{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			FsyncInterval: interval,
+			SnapshotEvery: *snapEvery,
+			Registry:      reg,
+			Logger:        logger,
+		})
+		if err != nil {
+			return fmt.Errorf("durability: %w", err)
+		}
+		fmt.Printf("recovered from %s: snapshot@%d, %d records replayed, %d skipped, %d truncated\n",
+			*dataDir, stats.SnapshotIndex, stats.Replayed, stats.Skipped, stats.Truncated)
 	}
 	if *state != "" {
 		if data, err := os.ReadFile(*state); err == nil {
@@ -87,7 +117,9 @@ func run() error {
 			return fmt.Errorf("snapshot state: %w", err)
 		}
 		if data != nil {
-			if err := os.WriteFile(*state, data, 0o644); err != nil {
+			// Atomic and private: the state embeds the encrypted index and
+			// ADS — never leave a torn or world-readable copy behind.
+			if err := durable.AtomicWriteFile(*state, data, 0o600); err != nil {
 				return fmt.Errorf("write state: %w", err)
 			}
 			fmt.Printf("persisted cloud state to %s\n", *state)

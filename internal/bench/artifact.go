@@ -9,6 +9,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"slicer/internal/durable"
 )
 
 // Artifact is the machine-readable record of one slicer-bench run
@@ -62,13 +64,15 @@ func (a *Artifact) Add(e Experiment, t *Table, wall time.Duration, delta map[str
 	})
 }
 
-// WriteFile persists the artifact as indented JSON.
+// WriteFile persists the artifact as indented JSON. The write is atomic so
+// a crashed or interrupted benchmark run cannot leave a torn artifact that
+// later comparisons would misparse.
 func (a *Artifact) WriteFile(path string) error {
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return durable.AtomicWriteFile(path, append(data, '\n'), 0o644)
 }
 
 // LoadArtifact reads an artifact written by WriteFile.

@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"ablation-witness-maintenance", "Cached-witness maintenance on insert", (*Runner).AblationWitnessMaintenance},
 		{"ablation-parallel-search", "Serial vs parallel search & verification pipeline", (*Runner).AblationParallelSearch},
 		{"ablation-vo-merkle", "Accumulator VO vs Merkle proof", (*Runner).AblationVOvsMerkle},
+		{"ablation-durability", "WAL fsync overhead & cold-start recovery", (*Runner).AblationDurability},
 	}
 }
 

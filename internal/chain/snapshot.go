@@ -51,26 +51,7 @@ type Snapshot struct {
 func (n *Node) ExportSnapshot() *Snapshot {
 	snap := &Snapshot{Blocks: make([]snapshotBlock, 0, len(n.blocks)-1)}
 	for _, b := range n.blocks[1:] {
-		sb := snapshotBlock{
-			Header: snapshotHeader{
-				ParentHash:  b.Header.ParentHash,
-				Number:      b.Header.Number,
-				TimeUnixNs:  b.Header.Time.UnixNano(),
-				Proposer:    b.Header.Proposer,
-				TxRoot:      b.Header.TxRoot,
-				ReceiptRoot: b.Header.ReceiptRoot,
-				StateRoot:   b.Header.StateRoot,
-				GasUsed:     b.Header.GasUsed,
-			},
-			Txs: make([]snapshotTx, len(b.Txs)),
-		}
-		for i, tx := range b.Txs {
-			sb.Txs[i] = snapshotTx{
-				From: tx.From, To: tx.To, Nonce: tx.Nonce,
-				Value: tx.Value, GasLimit: tx.GasLimit, Data: tx.Data,
-			}
-		}
-		snap.Blocks = append(snap.Blocks, sb)
+		snap.Blocks = append(snap.Blocks, toSnapshotBlock(b))
 	}
 	return snap
 }
@@ -89,6 +70,89 @@ func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
 	return &s, nil
 }
 
+// toSnapshotBlock converts a live block to its stable JSON form.
+func toSnapshotBlock(b *Block) snapshotBlock {
+	sb := snapshotBlock{
+		Header: snapshotHeader{
+			ParentHash:  b.Header.ParentHash,
+			Number:      b.Header.Number,
+			TimeUnixNs:  b.Header.Time.UnixNano(),
+			Proposer:    b.Header.Proposer,
+			TxRoot:      b.Header.TxRoot,
+			ReceiptRoot: b.Header.ReceiptRoot,
+			StateRoot:   b.Header.StateRoot,
+			GasUsed:     b.Header.GasUsed,
+		},
+		Txs: make([]snapshotTx, len(b.Txs)),
+	}
+	for i, tx := range b.Txs {
+		sb.Txs[i] = snapshotTx{
+			From: tx.From, To: tx.To, Nonce: tx.Nonce,
+			Value: tx.Value, GasLimit: tx.GasLimit, Data: tx.Data,
+		}
+	}
+	return sb
+}
+
+// fromSnapshotBlock rebuilds a block ready for ImportBlock (which
+// recomputes and validates receipts and roots).
+func fromSnapshotBlock(sb snapshotBlock) *Block {
+	block := &Block{
+		Header: Header{
+			ParentHash:  sb.Header.ParentHash,
+			Number:      sb.Header.Number,
+			Time:        timeFromUnixNs(sb.Header.TimeUnixNs),
+			Proposer:    sb.Header.Proposer,
+			TxRoot:      sb.Header.TxRoot,
+			ReceiptRoot: sb.Header.ReceiptRoot,
+			StateRoot:   sb.Header.StateRoot,
+			GasUsed:     sb.Header.GasUsed,
+		},
+		Txs: make([]*Transaction, len(sb.Txs)),
+	}
+	for i, tx := range sb.Txs {
+		block.Txs[i] = &Transaction{
+			From: tx.From, To: tx.To, Nonce: tx.Nonce,
+			Value: tx.Value, GasLimit: tx.GasLimit, Data: tx.Data,
+		}
+	}
+	return block
+}
+
+// EncodeBlock serializes one sealed block in the snapshot's stable JSON
+// form — the unit cmd/slicer-chain journals into its write-ahead log.
+func EncodeBlock(b *Block) ([]byte, error) {
+	sb := toSnapshotBlock(b)
+	return json.Marshal(&sb)
+}
+
+// DecodeBlock parses a block serialized by EncodeBlock. The result must
+// still pass ImportBlock's full validation before it enters a chain.
+func DecodeBlock(data []byte) (*Block, error) {
+	var sb snapshotBlock
+	if err := json.Unmarshal(data, &sb); err != nil {
+		return nil, fmt.Errorf("chain: parse block: %w", err)
+	}
+	return fromSnapshotBlock(sb), nil
+}
+
+// ImportSnapshot replays a snapshot into this node through full block
+// validation, without rebuilding the node: the node must be at genesis (or
+// anywhere below the snapshot's first block). Blocks at or below the
+// node's current height are skipped, so importing a snapshot into a node
+// that already replayed a prefix is safe.
+func (n *Node) ImportSnapshot(s *Snapshot) error {
+	for _, sb := range s.Blocks {
+		if sb.Header.Number <= n.Height() {
+			continue
+		}
+		if err := n.ImportBlock(fromSnapshotBlock(sb)); err != nil {
+			return fmt.Errorf("chain: replay block %d: %w", sb.Header.Number, err)
+		}
+	}
+	return nil
+}
+
 // RestoreNode creates a node from its genesis configuration and replays a
 // snapshot through full block validation. The configuration (registry,
 // validators, genesis allocation) must match the original deployment or
@@ -99,26 +163,7 @@ func RestoreNode(cfg Config, snap *Snapshot) (*Node, error) {
 		return nil, err
 	}
 	for _, sb := range snap.Blocks {
-		block := &Block{
-			Header: Header{
-				ParentHash:  sb.Header.ParentHash,
-				Number:      sb.Header.Number,
-				Time:        timeFromUnixNs(sb.Header.TimeUnixNs),
-				Proposer:    sb.Header.Proposer,
-				TxRoot:      sb.Header.TxRoot,
-				ReceiptRoot: sb.Header.ReceiptRoot,
-				StateRoot:   sb.Header.StateRoot,
-				GasUsed:     sb.Header.GasUsed,
-			},
-			Txs: make([]*Transaction, len(sb.Txs)),
-		}
-		for i, tx := range sb.Txs {
-			block.Txs[i] = &Transaction{
-				From: tx.From, To: tx.To, Nonce: tx.Nonce,
-				Value: tx.Value, GasLimit: tx.GasLimit, Data: tx.Data,
-			}
-		}
-		if err := node.ImportBlock(block); err != nil {
+		if err := node.ImportBlock(fromSnapshotBlock(sb)); err != nil {
 			return nil, fmt.Errorf("chain: replay block %d: %w", sb.Header.Number, err)
 		}
 	}

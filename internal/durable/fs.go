@@ -1,0 +1,143 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the slice of *os.File the engine needs. Truncate lets recovery
+// chop a torn WAL tail in place; Sync is the durability barrier.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS abstracts the filesystem so crash behavior is testable: OS is the
+// real thing, MemFS models durability and injects faults. Paths follow
+// path/filepath semantics of the host implementation.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile flags.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (POSIX semantics).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory sorted by name.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir makes a directory's entries (creates, renames, removes)
+	// durable.
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is how a rename or create becomes durable on POSIX.
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// ReadFile reads a whole file through an FS.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// AtomicWriteFileFS durably replaces name with data: write to a temp file
+// in the same directory, fsync it, rename over the target, fsync the
+// directory. A crash at any point leaves either the old content or the new
+// content, never a torn mix.
+func AtomicWriteFileFS(fsys FS, name string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(name)
+	tmp := name + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("durable: atomic write %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("durable: atomic write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("durable: atomic write %s: sync: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("durable: atomic write %s: close: %w", name, err)
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("durable: atomic write %s: rename: %w", name, err)
+	}
+	return fsys.SyncDir(dir)
+}
+
+// AtomicWriteFile is AtomicWriteFileFS on the real filesystem. Every state
+// file a Slicer process writes (CLI deployment state, bench artifacts,
+// legacy shutdown snapshots) goes through this so a crash mid-write can
+// never corrupt it.
+func AtomicWriteFile(name string, data []byte, perm os.FileMode) error {
+	return AtomicWriteFileFS(OS, name, data, perm)
+}
+
+// listFiles returns the names (not paths) of dir's regular files matching
+// the prefix/suffix, sorted ascending. A missing directory is an empty
+// listing.
+func listFiles(fsys FS, dir, prefix, suffix string) ([]string, error) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if len(n) > len(prefix)+len(suffix) &&
+			n[:len(prefix)] == prefix && n[len(n)-len(suffix):] == suffix {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

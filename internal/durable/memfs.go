@@ -1,0 +1,343 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error every MemFS operation returns once an armed
+// fault has fired. Detect it with errors.Is.
+var ErrInjected = errors.New("durable: injected fault")
+
+// MemFS is an in-memory FS that models crash durability and injects
+// faults, making "kill -9 mid-write" a deterministic unit test.
+//
+// The model follows POSIX: directory entries and inode contents are
+// separately durable. A write lands in the inode's volatile content and
+// becomes durable on File.Sync; a create, rename or remove changes the
+// volatile directory and becomes durable on SyncDir of the parent. Crash
+// discards everything volatile, leaving exactly what a real machine would
+// find after power loss — a rename whose directory was never fsynced rolls
+// back to the old target, an unsynced append vanishes, a synced temp file
+// renamed over a target keeps its synced bytes.
+//
+// Faults: FailAfterWriteOps(n) lets n write operations (Write, Sync,
+// create, Rename, Remove, Truncate, SyncDir, MkdirAll) succeed and fails
+// every later one with ErrInjected; FailNextWriteShort makes the next
+// Write persist only half its bytes before erroring — and those partial
+// bytes count as having reached the platter, so they survive Crash: the
+// torn-write outcome recovery must truncate.
+//
+// Paths are normalized to forward slashes; MemFS is safe for concurrent
+// use.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*inode // volatile directory: name -> inode
+	durable map[string]*inode // durable directory: survives Crash
+	dirs    map[string]bool   // volatile view of existing directories
+
+	writeOps   int // write operations performed so far
+	failAfter  int // <0: disarmed; >=0: ops allowed before injection
+	shortWrite bool
+}
+
+// inode is one file's storage: volatile content plus the content made
+// durable by the last Sync.
+type inode struct {
+	data   []byte
+	synced []byte
+}
+
+// NewMemFS creates an empty MemFS with fault injection disarmed.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:     make(map[string]*inode),
+		durable:   make(map[string]*inode),
+		dirs:      map[string]bool{".": true, "/": true},
+		failAfter: -1,
+	}
+}
+
+// FailAfterWriteOps arms the fault: n more write operations succeed, then
+// every operation fails with ErrInjected. A negative n disarms.
+func (m *MemFS) FailAfterWriteOps(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAfter = n
+	m.writeOps = 0
+}
+
+// FailNextWriteShort makes the next Write persist only half its bytes and
+// then return ErrInjected — a torn write, as left by a crash mid-append.
+func (m *MemFS) FailNextWriteShort() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shortWrite = true
+}
+
+// WriteOps reports how many write operations have run (for sweeping
+// FailAfterWriteOps over every crash point).
+func (m *MemFS) WriteOps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeOps
+}
+
+// Crash simulates power loss: the volatile directory and all unsynced
+// inode contents are discarded. Fault injection is disarmed so the
+// "rebooted" process can keep using the FS.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files = make(map[string]*inode, len(m.durable))
+	for name, ino := range m.durable {
+		ino.data = append(ino.data[:0:0], ino.synced...)
+		m.files[name] = ino
+		m.dirs[path.Dir(name)] = true
+	}
+	m.failAfter = -1
+	m.shortWrite = false
+	m.writeOps = 0
+}
+
+// countWrite charges one write operation against the armed fault. The
+// caller holds m.mu.
+func (m *MemFS) countWrite() error {
+	if m.failAfter >= 0 && m.writeOps >= m.failAfter {
+		return ErrInjected
+	}
+	m.writeOps++
+	return nil
+}
+
+func norm(name string) string { return path.Clean(strings.ReplaceAll(name, "\\", "/")) }
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = norm(name)
+	ino, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		if err := m.countWrite(); err != nil {
+			return nil, err
+		}
+		ino = &inode{}
+		m.files[name] = ino
+		m.dirs[path.Dir(name)] = true
+	} else if flag&os.O_TRUNC != 0 {
+		if err := m.countWrite(); err != nil {
+			return nil, err
+		}
+		ino.data = nil
+	}
+	h := &memHandle{fs: m, ino: ino}
+	if flag&os.O_APPEND != 0 {
+		h.off = int64(len(ino.data))
+	}
+	return h, nil
+}
+
+// Rename implements FS. The inode carries its synced content to the new
+// name; the directory change is durable only after SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.countWrite(); err != nil {
+		return err
+	}
+	oldpath, newpath = norm(oldpath), norm(newpath)
+	ino, ok := m.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	m.files[newpath] = ino
+	delete(m.files, oldpath)
+	m.dirs[path.Dir(newpath)] = true
+	return nil
+}
+
+// Remove implements FS. Durable entries reappear on Crash until the
+// removal is fsynced by SyncDir.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.countWrite(); err != nil {
+		return err
+	}
+	name = norm(name)
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = norm(name)
+	if !m.dirs[name] {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: os.ErrNotExist}
+	}
+	var ents []fs.DirEntry
+	for fname, ino := range m.files {
+		if path.Dir(fname) == name {
+			ents = append(ents, memDirEntry{name: path.Base(fname), size: int64(len(ino.data))})
+		}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name() < ents[j].Name() })
+	return ents, nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(p string, _ os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.countWrite(); err != nil {
+		return err
+	}
+	p = norm(p)
+	for p != "." && p != "/" {
+		m.dirs[p] = true
+		p = path.Dir(p)
+	}
+	return nil
+}
+
+// SyncDir implements FS: the directory's volatile entries become the
+// durable ones — creates and renames survive Crash, removes stay gone.
+func (m *MemFS) SyncDir(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.countWrite(); err != nil {
+		return err
+	}
+	name = norm(name)
+	for fname := range m.durable {
+		if path.Dir(fname) == name {
+			if _, ok := m.files[fname]; !ok {
+				delete(m.durable, fname)
+			}
+		}
+	}
+	for fname, ino := range m.files {
+		if path.Dir(fname) == name {
+			m.durable[fname] = ino
+		}
+	}
+	return nil
+}
+
+// memHandle is one open descriptor.
+type memHandle struct {
+	fs  *MemFS
+	ino *inode
+	off int64
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.off >= int64(len(h.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.shortWrite {
+		h.fs.shortWrite = false
+		half := p[:len(p)/2]
+		h.writeLocked(half)
+		// The partial bytes reached the platter before the device died:
+		// they survive Crash even though Sync was never called. This is the
+		// adversarial outcome torn-tail truncation exists for.
+		h.ino.synced = append(h.ino.synced[:0:0], h.ino.data...)
+		return len(half), ErrInjected
+	}
+	if err := h.fs.countWrite(); err != nil {
+		return 0, err
+	}
+	h.writeLocked(p)
+	return len(p), nil
+}
+
+// writeLocked applies a write at the handle offset. Caller holds fs.mu.
+func (h *memHandle) writeLocked(p []byte) {
+	end := h.off + int64(len(p))
+	if end > int64(len(h.ino.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.ino.data)
+		h.ino.data = grown
+	}
+	copy(h.ino.data[h.off:end], p)
+	h.off = end
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.countWrite(); err != nil {
+		return err
+	}
+	h.ino.synced = append(h.ino.synced[:0:0], h.ino.data...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.countWrite(); err != nil {
+		return err
+	}
+	if size < int64(len(h.ino.data)) {
+		h.ino.data = h.ino.data[:size]
+	}
+	if h.off > size {
+		h.off = size
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// memDirEntry is a minimal fs.DirEntry.
+type memDirEntry struct {
+	name string
+	size int64
+}
+
+func (e memDirEntry) Name() string      { return e.name }
+func (e memDirEntry) IsDir() bool       { return false }
+func (e memDirEntry) Type() fs.FileMode { return 0 }
+func (e memDirEntry) Info() (fs.FileInfo, error) {
+	return memFileInfo{name: e.name, size: e.size}, nil
+}
+
+type memFileInfo struct {
+	name string
+	size int64
+}
+
+func (i memFileInfo) Name() string       { return i.name }
+func (i memFileInfo) Size() int64        { return i.size }
+func (i memFileInfo) Mode() fs.FileMode  { return 0o600 }
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return false }
+func (i memFileInfo) Sys() any           { return nil }

@@ -1,0 +1,79 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RecoveredState is everything a server needs to rebuild its in-memory
+// state after a restart or crash: the newest valid snapshot plus the WAL
+// records appended after it, with any torn tail already discarded.
+type RecoveredState struct {
+	// SnapshotIndex is the WAL index the snapshot covers (0: no snapshot).
+	SnapshotIndex uint64
+	// Snapshot is the snapshot payload (nil: no snapshot).
+	Snapshot []byte
+	// Entries are the WAL payloads to replay on top of the snapshot, in
+	// append order. Entries[0] has index FirstIndex.
+	Entries [][]byte
+	// FirstIndex is the WAL index of Entries[0] (meaningless when Entries
+	// is empty).
+	FirstIndex uint64
+	// NextIndex is where the log resumes: pass it as LogOptions.Start when
+	// reopening the log for writes.
+	NextIndex uint64
+	// TruncatedRecords counts torn/corrupt records discarded from the WAL
+	// tail — work that was in flight (never acknowledged under
+	// FsyncAlways) when the process died.
+	TruncatedRecords int
+}
+
+// Empty reports whether there is nothing to recover (fresh data dir).
+func (r *RecoveredState) Empty() bool {
+	return r.Snapshot == nil && len(r.Entries) == 0
+}
+
+// Recover reads a data directory: it loads the newest valid snapshot (if
+// any), replays the WAL, keeps only records the snapshot does not already
+// cover, and truncates at the first torn or corrupt record instead of
+// failing. It does not modify the directory — reopen the log with
+// OpenLog (passing NextIndex as LogOptions.Start) to resume appending.
+func Recover(fsys FS, dir string) (*RecoveredState, error) {
+	rec := &RecoveredState{NextIndex: 1}
+	idx, payload, err := NewSnapshotter(fsys, dir, 0).Load()
+	switch {
+	case err == nil:
+		rec.SnapshotIndex = idx
+		rec.Snapshot = payload
+		rec.NextIndex = idx + 1
+	case errors.Is(err, ErrNoSnapshot):
+	default:
+		return nil, err
+	}
+	scan, err := scanWAL(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	rec.TruncatedRecords = scan.dropped
+	for _, e := range scan.entries {
+		if e.index <= rec.SnapshotIndex {
+			continue // already folded into the snapshot
+		}
+		if len(rec.Entries) == 0 {
+			rec.FirstIndex = e.index
+		} else if want := rec.FirstIndex + uint64(len(rec.Entries)); e.index != want {
+			return nil, fmt.Errorf("durable: recovery gap: wal jumps from %d to %d", want-1, e.index)
+		}
+		rec.Entries = append(rec.Entries, e.payload)
+	}
+	if len(rec.Entries) > 0 {
+		if rec.SnapshotIndex != 0 && rec.FirstIndex != rec.SnapshotIndex+1 {
+			return nil, fmt.Errorf("durable: recovery gap: snapshot covers %d but wal resumes at %d",
+				rec.SnapshotIndex, rec.FirstIndex)
+		}
+		rec.NextIndex = rec.FirstIndex + uint64(len(rec.Entries))
+	} else if scan.next > rec.NextIndex {
+		rec.NextIndex = scan.next
+	}
+	return rec, nil
+}

@@ -1,0 +1,183 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"slicer/internal/obs"
+)
+
+// Snapshot on-disk format. A snapshot file snap-<index, 16 hex>.snap is a
+// manifest header followed by the application payload:
+//
+//	+--------------------+---------+--------------+----------------+----------------+=========+
+//	| magic "SLCRSNP1"   | ver u8  | index u64 LE | length  u32 LE | CRC32C  u32 LE | payload |
+//	+--------------------+---------+--------------+----------------+----------------+=========+
+//
+// index is the WAL index the snapshot covers: every journaled record with
+// index <= it is folded into the payload, so recovery replays only the
+// tail. Files are written atomically (temp + fsync + rename + fsync-dir),
+// and Load falls back to the previous snapshot if the newest is corrupt —
+// which is why Save keeps one generation of history.
+
+var snapMagic = [8]byte{'S', 'L', 'C', 'R', 'S', 'N', 'P', '1'}
+
+const (
+	snapVersion = 1
+	snapPrefix  = "snap-"
+	snapSuffix  = ".snap"
+	snapHdrLen  = 8 + 1 + 8 + 4 + 4
+	// keepSnapshots is how many generations Save retains: the new one plus
+	// one fallback in case the newest is later found corrupt.
+	keepSnapshots = 2
+)
+
+// MaxSnapshotSize bounds a snapshot payload (1 GiB) against corrupt
+// manifests demanding absurd allocations.
+const MaxSnapshotSize = 1 << 30
+
+// EncodeSnapshot frames a snapshot payload with its manifest.
+func EncodeSnapshot(index uint64, payload []byte) []byte {
+	out := make([]byte, snapHdrLen, snapHdrLen+len(payload))
+	copy(out[0:8], snapMagic[:])
+	out[8] = snapVersion
+	binary.LittleEndian.PutUint64(out[9:17], index)
+	binary.LittleEndian.PutUint32(out[17:21], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[21:25], crc32.Checksum(payload, castagnoli))
+	return append(out, payload...)
+}
+
+// DecodeSnapshot parses and verifies a framed snapshot.
+func DecodeSnapshot(data []byte) (index uint64, payload []byte, err error) {
+	if len(data) < snapHdrLen {
+		return 0, nil, fmt.Errorf("durable: snapshot manifest short: %d bytes", len(data))
+	}
+	if [8]byte(data[0:8]) != snapMagic {
+		return 0, nil, fmt.Errorf("durable: bad snapshot magic")
+	}
+	if data[8] != snapVersion {
+		return 0, nil, fmt.Errorf("durable: unsupported snapshot version %d", data[8])
+	}
+	index = binary.LittleEndian.Uint64(data[9:17])
+	n := binary.LittleEndian.Uint32(data[17:21])
+	if n > MaxSnapshotSize {
+		return 0, nil, fmt.Errorf("durable: snapshot payload of %d bytes exceeds %d", n, MaxSnapshotSize)
+	}
+	if uint64(len(data)-snapHdrLen) != uint64(n) {
+		return 0, nil, fmt.Errorf("durable: snapshot payload torn: have %d bytes, manifest says %d", len(data)-snapHdrLen, n)
+	}
+	payload = data[snapHdrLen:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[21:25]) {
+		return 0, nil, fmt.Errorf("durable: snapshot checksum mismatch")
+	}
+	return index, payload, nil
+}
+
+func snapName(index uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, index, snapSuffix) }
+
+func snapIndex(name string) (uint64, error) {
+	var idx uint64
+	if _, err := fmt.Sscanf(name, snapPrefix+"%016x"+snapSuffix, &idx); err != nil {
+		return 0, fmt.Errorf("durable: bad snapshot name %q: %w", name, err)
+	}
+	return idx, nil
+}
+
+// Snapshotter writes and loads atomic snapshots in a directory (which it
+// shares with the WAL segments — one data dir per server).
+type Snapshotter struct {
+	fsys FS
+	dir  string
+	mode os.FileMode
+
+	saveDur   *obs.Histogram
+	saveBytes *obs.Gauge
+	saves     *obs.Counter
+}
+
+// NewSnapshotter creates a snapshotter over dir. Files are created with
+// the given mode (0 defaults to 0o600).
+func NewSnapshotter(fsys FS, dir string, mode os.FileMode) *Snapshotter {
+	if mode == 0 {
+		mode = 0o600
+	}
+	return &Snapshotter{fsys: fsys, dir: dir, mode: mode}
+}
+
+// SetMetrics attaches snapshot duration/size series (slicer_snapshot_*).
+func (s *Snapshotter) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.saveDur = reg.Histogram("slicer_snapshot_seconds",
+		"Wall time of one atomic snapshot save (encode + write + fsync + rename).")
+	s.saveBytes = reg.Gauge("slicer_snapshot_bytes", "Size of the most recent snapshot payload.")
+	s.saves = reg.Counter("slicer_snapshots_total", "Snapshots saved.")
+}
+
+// Save atomically persists a snapshot covering every WAL record with index
+// <= index, then prunes all but the newest two generations. When Save
+// returns nil the snapshot is durable.
+func (s *Snapshotter) Save(index uint64, payload []byte) error {
+	if len(payload) > MaxSnapshotSize {
+		return fmt.Errorf("durable: snapshot of %d bytes exceeds %d", len(payload), MaxSnapshotSize)
+	}
+	t0 := s.saveDur.Start()
+	if err := s.fsys.MkdirAll(s.dir, 0o700); err != nil {
+		return fmt.Errorf("durable: create snapshot dir: %w", err)
+	}
+	name := filepath.Join(s.dir, snapName(index))
+	if err := AtomicWriteFileFS(s.fsys, name, EncodeSnapshot(index, payload), s.mode); err != nil {
+		return err
+	}
+	s.saveDur.ObserveSince(t0)
+	s.saveBytes.Set(float64(len(payload)))
+	s.saves.Inc()
+	return s.prune()
+}
+
+// prune removes all but the newest keepSnapshots generations. Failures are
+// non-fatal — stale snapshots waste space, not correctness.
+func (s *Snapshotter) prune() error {
+	names, err := listFiles(s.fsys, s.dir, snapPrefix, snapSuffix)
+	if err != nil || len(names) <= keepSnapshots {
+		return nil
+	}
+	removed := false
+	for _, name := range names[:len(names)-keepSnapshots] {
+		if err := s.fsys.Remove(filepath.Join(s.dir, name)); err == nil {
+			removed = true
+		}
+	}
+	if removed {
+		return s.fsys.SyncDir(s.dir)
+	}
+	return nil
+}
+
+// Load returns the newest valid snapshot. Corrupt candidates are skipped
+// in favor of older generations; ErrNoSnapshot means none is loadable.
+func (s *Snapshotter) Load() (index uint64, payload []byte, err error) {
+	names, err := listFiles(s.fsys, s.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		if _, err := snapIndex(names[i]); err != nil {
+			continue // not a snapshot of ours
+		}
+		data, err := ReadFile(s.fsys, filepath.Join(s.dir, names[i]))
+		if err != nil {
+			continue
+		}
+		idx, payload, err := DecodeSnapshot(data)
+		if err != nil {
+			continue // torn or corrupt: fall back to the previous generation
+		}
+		return idx, payload, nil
+	}
+	return 0, nil, ErrNoSnapshot
+}

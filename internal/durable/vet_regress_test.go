@@ -1,0 +1,43 @@
+package durable
+
+import (
+	"path/filepath"
+	"testing"
+
+	"slicer/internal/analysis"
+)
+
+// TestVetGatesOverDurable runs the errdrop and maporder analyzers as a
+// library over this package. Durability code is exactly where a silently
+// dropped error turns into data loss — an ignored fsync failure means an
+// acknowledged record that is not on disk — and where map-iteration order
+// must never decide what gets replayed. Keeping the slicer-vet gates wired
+// here as a regression test means a violation fails `go test`, not just the
+// separate lint job.
+func TestVetGatesOverDurable(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash("internal/durable")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("no package at internal/durable")
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("typecheck: %v", terr)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{
+		analysis.ErrDrop,
+		analysis.MapOrder,
+	})
+	for _, d := range diags {
+		t.Errorf("slicer-vet gate violation in durable engine: %s", d)
+	}
+}

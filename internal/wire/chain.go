@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/json"
+	"fmt"
 	"log/slog"
 	"sync"
 	"time"
@@ -52,6 +53,7 @@ type CallResult struct {
 type ChainServer struct {
 	mu      sync.Mutex
 	network *chain.Network
+	jour    *journal // nil until EnableDurability
 	srv     *Server
 	started time.Time
 
@@ -115,8 +117,20 @@ func (cs *ChainServer) Server() *Server { return cs.srv }
 // Listen binds the server and returns its address.
 func (cs *ChainServer) Listen(addr string) (string, error) { return cs.srv.Listen(addr) }
 
-// Close shuts the server down.
-func (cs *ChainServer) Close() error { return cs.srv.Close() }
+// Close shuts the server down, syncing and closing the journal if
+// durability is enabled.
+func (cs *ChainServer) Close() error {
+	err := cs.srv.Close()
+	cs.mu.Lock()
+	jour := cs.jour
+	cs.mu.Unlock()
+	if jour != nil {
+		if jerr := jour.close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
 
 // handleSubmit records the pool-admission phase into the propagated trace
 // (nil for context-free callers).
@@ -147,6 +161,20 @@ func (cs *ChainServer) handleStep(_ json.RawMessage, tr *obs.Trace) (any, error)
 		return nil, err
 	}
 	end()
+	if cs.jour != nil {
+		// Journal the sealed block before acknowledging the step: a
+		// restart replays it through full validation back to the same
+		// state and receipt roots. On journal failure the block exists
+		// only in memory, so the step is reported failed and the journal
+		// is fail-stop from here on.
+		rec, jerr := chain.EncodeBlock(block)
+		if jerr == nil {
+			jerr = cs.jour.commit(rec, func() error { return nil }, cs.chainSnapshotStateLocked)
+		}
+		if jerr != nil {
+			return nil, fmt.Errorf("wire: block %d sealed but not journaled: %w", block.Header.Number, jerr)
+		}
+	}
 	cs.blocks.Inc()
 	cs.txs.Add(uint64(len(block.Receipts)))
 	for _, r := range block.Receipts {

@@ -144,6 +144,7 @@ func decodePrimes(raw [][]byte) []*big.Int {
 type CloudServer struct {
 	mu      sync.RWMutex // guards the cloud pointer, not the cloud's state
 	cloud   *core.Cloud
+	jour    *journal // nil until EnableDurability
 	srv     *Server
 	reg     *obs.Registry // nil until SetObservability; forwarded to the hosted cloud
 	started time.Time
@@ -194,8 +195,23 @@ func (cs *CloudServer) Server() *Server { return cs.srv }
 // Listen binds the server and returns its address.
 func (cs *CloudServer) Listen(addr string) (string, error) { return cs.srv.Listen(addr) }
 
-// Close shuts the server down.
-func (cs *CloudServer) Close() error { return cs.srv.Close() }
+// Close shuts the server down, syncing and closing the journal if
+// durability is enabled.
+func (cs *CloudServer) Close() error {
+	err := cs.srv.Close()
+	if j := cs.journal(); j != nil {
+		if jerr := j.close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+func (cs *CloudServer) journal() *journal {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.jour
+}
 
 // Snapshot serializes the hosted cloud's state (nil if uninitialized), for
 // persistence across server restarts.
@@ -214,6 +230,12 @@ func (cs *CloudServer) Restore(data []byte) error {
 	if err != nil {
 		return err
 	}
+	return cs.install(cloud)
+}
+
+// install publishes a freshly built cloud, failing if one is already
+// hosted.
+func (cs *CloudServer) install(cloud *core.Cloud) error {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if cs.cloud != nil {
@@ -239,15 +261,21 @@ func (cs *CloudServer) handleInit(params json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.cloud != nil {
+	jour := cs.journal()
+	if jour == nil {
+		if err := cs.install(cloud); err != nil {
+			return nil, err
+		}
+		return map[string]bool{"ok": true}, nil
+	}
+	// Refuse before journaling so a doomed re-init leaves no WAL record.
+	if _, err := cs.get(); err == nil {
 		return nil, errors.New("wire: cloud already initialized")
 	}
-	if cs.reg != nil {
-		cloud.SetMetrics(cs.reg)
+	rec := append([]byte{cloudRecInit}, params...)
+	if err := jour.commit(rec, func() error { return cs.install(cloud) }, cs.cloudSnapshotState); err != nil {
+		return nil, err
 	}
-	cs.cloud = cloud
 	return map[string]bool{"ok": true}, nil
 }
 
@@ -273,7 +301,18 @@ func (cs *CloudServer) handleUpdate(params json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := cloud.ApplyUpdate(out); err != nil {
+	jour := cs.journal()
+	if jour == nil {
+		if err := cloud.ApplyUpdate(out); err != nil {
+			return nil, err
+		}
+		return map[string]bool{"ok": true}, nil
+	}
+	// Journal, then apply under the journal mutex: WAL order must equal
+	// apply order (the accumulation value is last-writer-wins), and the
+	// ack goes out only once the record is durable under the fsync policy.
+	rec := append([]byte{cloudRecUpdate}, params...)
+	if err := jour.commit(rec, func() error { return cloud.ApplyUpdate(out) }, cs.cloudSnapshotState); err != nil {
 		return nil, err
 	}
 	return map[string]bool{"ok": true}, nil

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -99,6 +100,9 @@ func run() error {
 	record := bench.NewArtifact(scale.Name)
 	start := time.Now()
 	for _, e := range selected {
+		// Collect garbage left by the previous experiment so its live heap
+		// (memoized deployments, witness trees) doesn't tax this one's GC.
+		runtime.GC()
 		expStart := time.Now()
 		var before map[string]float64
 		if reg != nil {

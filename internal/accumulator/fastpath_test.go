@@ -1,0 +1,352 @@
+package accumulator
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+
+	"slicer/internal/hprime"
+)
+
+// fpParams memoizes one 512-bit parameter set across the fast-path tests;
+// Setup is too slow to repeat per test case.
+var (
+	fpOnce   sync.Once
+	fpShared *Params
+)
+
+func fpSetup(t testing.TB) *Params {
+	fpOnce.Do(func() {
+		p, err := Setup(512)
+		if err != nil {
+			panic(err)
+		}
+		fpShared = p
+	})
+	if fpShared == nil {
+		t.Fatal("setup failed")
+	}
+	return fpShared
+}
+
+func fpPrimes(n int, tag string) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = hprime.Hash([]byte(fmt.Sprintf("fp-%s-%d", tag, i)))
+	}
+	return out
+}
+
+// naiveAccumulate is the pre-aggregation reference: strictly iterated
+// per-prime exponentiation.
+func naiveAccumulate(pp *PublicParams, base *big.Int, primes []*big.Int) *big.Int {
+	out := new(big.Int).Set(base)
+	for _, x := range primes {
+		out.Exp(out, x, pp.N)
+	}
+	return out
+}
+
+func TestAccumulateAggMatchesNaive(t *testing.T) {
+	pp := fpSetup(t).Public()
+	for _, n := range []int{0, 1, 7, 8, 9, 64} {
+		primes := fpPrimes(n, "agg")
+		want := naiveAccumulate(pp, pp.G, primes)
+		if got := pp.Accumulate(primes); got.Cmp(want) != 0 {
+			t.Fatalf("n=%d: aggregated Accumulate diverges from naive", n)
+		}
+		ac := hprime.Hash([]byte("agg-base"))
+		wantAdd := naiveAccumulate(pp, ac, primes)
+		if got := pp.Add(ac, primes); got.Cmp(wantAdd) != 0 {
+			t.Fatalf("n=%d: aggregated Add diverges from naive", n)
+		}
+	}
+}
+
+func TestAccumulateDoesNotMutateInputs(t *testing.T) {
+	pp := fpSetup(t).Public()
+	primes := fpPrimes(16, "alias")
+	snaps := make([]*big.Int, len(primes))
+	for i, p := range primes {
+		snaps[i] = new(big.Int).Set(p)
+	}
+	ac := hprime.Hash([]byte("alias-base"))
+	acSnap := new(big.Int).Set(ac)
+	gSnap := new(big.Int).Set(pp.G)
+
+	pp.Accumulate(primes)
+	pp.Add(ac, primes)
+	if _, err := pp.MemWit(primes, primes[3]); err != nil {
+		t.Fatal(err)
+	}
+	if ac.Cmp(acSnap) != 0 {
+		t.Fatal("Add mutated its accumulation-value input")
+	}
+	if pp.G.Cmp(gSnap) != 0 {
+		t.Fatal("generator was mutated")
+	}
+	for i, p := range primes {
+		if p.Cmp(snaps[i]) != 0 {
+			t.Fatalf("prime %d was mutated", i)
+		}
+	}
+}
+
+func TestMemWitTypedError(t *testing.T) {
+	pp := fpSetup(t).Public()
+	primes := fpPrimes(10, "err")
+	outsider := hprime.Hash([]byte("fp-outsider"))
+	_, err := pp.MemWit(primes, outsider)
+	if !errors.Is(err, ErrNotMember) {
+		t.Fatalf("want ErrNotMember, got %v", err)
+	}
+	// A composite equal to a product of two members must NOT divide its way
+	// into a witness.
+	composite := new(big.Int).Mul(primes[1], primes[2])
+	if _, err := pp.MemWit(primes, composite); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("composite member accepted: %v", err)
+	}
+}
+
+func TestMemWitMatchesRootFactor(t *testing.T) {
+	pp := fpSetup(t).Public()
+	for _, n := range []int{1, 2, 7, 8, 33, 100} {
+		primes := fpPrimes(n, "mw")
+		all := pp.RootFactor(primes)
+		for _, i := range []int{0, n / 2, n - 1} {
+			w, err := pp.MemWit(primes, primes[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Cmp(all[i]) != 0 {
+				t.Fatalf("n=%d i=%d: MemWit != RootFactor", n, i)
+			}
+			if !pp.VerifyMem(pp.Accumulate(primes), primes[i], w) {
+				t.Fatalf("n=%d i=%d: witness does not verify", n, i)
+			}
+		}
+	}
+}
+
+func TestFixedBaseMatchesExp(t *testing.T) {
+	pp := fpSetup(t).Public()
+	base := hprime.Hash([]byte("fb-base"))
+	fb, err := pp.NewFixedBase(base, 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(65537),
+		Product(fpPrimes(15, "fbexp")),  // 1920 bits: near capacity
+		Product(fpPrimes(40, "fbover")), // over capacity: fallback path
+		new(big.Int).Lsh(big.NewInt(1), 2047),
+	}
+	for i, e := range exps {
+		want := new(big.Int).Exp(base, e, pp.N)
+		if got := fb.Exp(e); got.Cmp(want) != 0 {
+			t.Fatalf("exp %d (bitlen %d): comb diverges from Exp", i, e.BitLen())
+		}
+	}
+	if fb.Base().Cmp(base) == 0 && fb.CapBits() < 2048 {
+		t.Fatalf("capacity %d below requested 2048", fb.CapBits())
+	}
+}
+
+func TestFixedBaseTeethSweep(t *testing.T) {
+	pp := fpSetup(t).Public()
+	base := hprime.Hash([]byte("fb-teeth"))
+	e := Product(fpPrimes(8, "fbteeth"))
+	want := new(big.Int).Exp(base, e, pp.N)
+	for _, teeth := range []int{4, 7, 12} {
+		fb, err := pp.NewFixedBase(base, 1100, teeth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fb.Exp(e); got.Cmp(want) != 0 {
+			t.Fatalf("teeth=%d: comb diverges from Exp", teeth)
+		}
+	}
+	if _, err := pp.NewFixedBase(base, 1100, 21); err == nil {
+		t.Fatal("oversized teeth accepted")
+	}
+	if _, err := pp.NewFixedBase(big.NewInt(0), 1100, 0); err == nil {
+		t.Fatal("zero base accepted")
+	}
+}
+
+func TestWitnessTreeMatchesRootFactor(t *testing.T) {
+	pp := fpSetup(t).Public()
+	for _, n := range []int{1, 2, 3, 9, 64, 257} {
+		primes := fpPrimes(n, "wt")
+		want := pp.RootFactor(primes)
+		wt := pp.NewWitnessTree(primes, nil)
+		if wt.Len() != n {
+			t.Fatalf("n=%d: Len()=%d", n, wt.Len())
+		}
+		for i := 0; i < n; i++ {
+			if got := wt.Witness(i); got.Cmp(want[i]) != 0 {
+				t.Fatalf("n=%d i=%d: tree witness != RootFactor", n, i)
+			}
+		}
+		if wt.Witness(-1) != nil || wt.Witness(n) != nil {
+			t.Fatalf("n=%d: out-of-range index did not return nil", n)
+		}
+	}
+}
+
+func TestWitnessTreeWithComb(t *testing.T) {
+	pp := fpSetup(t).Public()
+	primes := fpPrimes(120, "wtfb")
+	fb, err := pp.NewFixedBase(pp.G, 120*hprime.PrimeBits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pp.RootFactor(primes)
+	wt := pp.NewWitnessTree(primes, fb)
+	for _, i := range []int{0, 17, 59, 60, 119} {
+		if got := wt.Witness(i); got.Cmp(want[i]) != 0 {
+			t.Fatalf("i=%d: comb-backed tree diverges", i)
+		}
+	}
+}
+
+// TestWitnessTreeConcurrent hammers one tree from many goroutines; with
+// -race this doubles as the pooled-scratch / lazy-memoization race test.
+func TestWitnessTreeConcurrent(t *testing.T) {
+	pp := fpSetup(t).Public()
+	const n = 96
+	primes := fpPrimes(n, "wtrace")
+	want := pp.RootFactor(primes)
+	fb, err := pp.NewFixedBase(pp.G, n*hprime.PrimeBits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := pp.NewWitnessTree(primes, fb)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for k := 0; k < n; k++ {
+				i := (k*7 + seed*13) % n
+				if got := wt.Witness(i); got.Cmp(want[i]) != 0 {
+					errs <- fmt.Errorf("goroutine %d: witness %d diverges", seed, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	if Product(nil).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("empty product != 1")
+	}
+	primes := fpPrimes(100, "prod")
+	want := big.NewInt(1)
+	for _, p := range primes {
+		want.Mul(want, p)
+	}
+	if Product(primes).Cmp(want) != 0 {
+		t.Fatal("product tree diverges from left fold")
+	}
+}
+
+// FuzzAccumulateFastVsPublic drives random prime sets through every
+// accumulate path — naive iterated, aggregated product-tree, owner
+// trapdoor, fixed-base comb — and requires bit-identical results.
+func FuzzAccumulateFastVsPublic(f *testing.F) {
+	f.Add([]byte("seed"), uint8(3))
+	f.Add([]byte{0xff, 0x00, 0x41}, uint8(12))
+	f.Add([]byte(""), uint8(0))
+	f.Fuzz(func(t *testing.T, seed []byte, n uint8) {
+		params := fpSetup(t)
+		pp := params.Public()
+		count := int(n%24) + 1
+		primes := make([]*big.Int, count)
+		for i := range primes {
+			primes[i] = hprime.HashConcat(seed, []byte{byte(i)})
+		}
+		want := naiveAccumulate(pp, pp.G, primes)
+		if got := pp.Accumulate(primes); got.Cmp(want) != 0 {
+			t.Fatal("aggregated path diverges from naive")
+		}
+		fast, err := params.AccumulateFast(primes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(want) != 0 {
+			t.Fatal("owner fast path diverges from naive")
+		}
+		fb, err := pp.NewFixedBase(pp.G, count*hprime.PrimeBits, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fb.Exp(Product(primes)); got.Cmp(want) != 0 {
+			t.Fatal("fixed-base comb diverges from naive")
+		}
+		// Witness paths: tree and MemWit agree with RootFactor.
+		all := pp.RootFactor(primes)
+		wt := pp.NewWitnessTree(primes, fb)
+		idx := int(n) % count
+		w, err := pp.MemWit(primes, primes[idx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Cmp(all[idx]) != 0 || wt.Witness(idx).Cmp(all[idx]) != 0 {
+			t.Fatal("witness paths disagree")
+		}
+	})
+}
+
+func BenchmarkAccumulatePublic(b *testing.B) {
+	pp := fpSetup(b).Public()
+	primes := fpPrimes(256, "bench-acc")
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			naiveAccumulate(pp, pp.G, primes)
+		}
+	})
+	b.Run("aggregated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pp.Accumulate(primes)
+		}
+	})
+	b.Run("fixed-base", func(b *testing.B) {
+		fb, err := pp.NewFixedBase(pp.G, len(primes)*hprime.PrimeBits, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fb.Exp(Product(primes))
+		}
+	})
+}
+
+func BenchmarkWitness(b *testing.B) {
+	pp := fpSetup(b).Public()
+	primes := fpPrimes(512, "bench-wit")
+	b.Run("memwit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pp.MemWit(primes, primes[i%len(primes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tree-amortized", func(b *testing.B) {
+		wt := pp.NewWitnessTree(primes, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wt.Witness(i % len(primes))
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package accumulator
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// FixedBase is a Lim–Lee comb precomputation for repeated exponentiation of
+// one fixed base: after a one-time table build (capBits squarings plus
+// v·2^teeth multiplies), every Exp costs roughly capBits/teeth modular
+// multiplies instead of the ~1.3·capBits squarings-plus-multiplies of an
+// independent big.Int.Exp. It pays off when the same base (the generator g,
+// or the current accumulation value during a bulk update) is raised to
+// several large exponents.
+//
+// The exponent window is split into teeth·v combs: tooth j reads exponent
+// bit j·a+k·b+t for column k and step t, so one table lookup per column
+// folds `teeth` exponent bits at once. Tables are immutable after
+// construction, making a FixedBase safe for concurrent Exp calls.
+type FixedBase struct {
+	pp      *PublicParams
+	base    *big.Int
+	teeth   int // comb teeth h: exponent bits folded per table lookup
+	v       int // columns: tables trading build time for eval multiplies
+	a, b    int // bit strides: a = tooth spacing, b = column spacing
+	capBits int
+	tables  [][]*big.Int // tables[k][u] = Π_{j: bit j of u} base^(2^(j·a+k·b))
+}
+
+// fixedBaseColumns is the column count v. Four columns quarter the
+// squaring count of the evaluation loop at 4x the table build cost — the
+// sweet spot measured on the quick-scale moduli.
+const fixedBaseColumns = 4
+
+// defaultTeeth picks the comb teeth for a capacity: wider combs amortize
+// better but the table build pays v·2^teeth multiplies, so tiny capacities
+// shrink the comb. Capped at 12 (16K table entries at v=4).
+func defaultTeeth(capBits int) int {
+	t := bits.Len(uint(capBits)) - 7 // ~log2(capBits)-7: build ≈ eval cost
+	if t < 4 {
+		t = 4
+	}
+	if t > 12 {
+		t = 12
+	}
+	return t
+}
+
+// NewFixedBase builds a comb table for base covering exponents of up to
+// capBits bits. teeth <= 0 selects a size-appropriate default. The base is
+// not mutated and must lie in [1, N).
+func (pp *PublicParams) NewFixedBase(base *big.Int, capBits, teeth int) (*FixedBase, error) {
+	if base == nil || base.Sign() <= 0 || base.Cmp(pp.N) >= 0 {
+		return nil, fmt.Errorf("accumulator: fixed base outside [1, N)")
+	}
+	if capBits < 1 {
+		return nil, fmt.Errorf("accumulator: fixed-base capacity %d bits invalid", capBits)
+	}
+	if teeth <= 0 {
+		teeth = defaultTeeth(capBits)
+	}
+	if teeth > 20 {
+		return nil, fmt.Errorf("accumulator: %d comb teeth would need a %d-entry table", teeth, fixedBaseColumns<<teeth)
+	}
+	h, v := teeth, fixedBaseColumns
+	a := (capBits + h - 1) / h
+	b := (a + v - 1) / v
+	a = b * v // round the tooth stride up to a whole number of columns
+	fb := &FixedBase{pp: pp, base: new(big.Int).Set(base), teeth: h, v: v, a: a, b: b, capBits: a * h}
+
+	// Anchors base^(2^(j·a+k·b)) are a pure squaring chain; big.Int.Exp with
+	// a power-of-two exponent runs it at internal (Montgomery) speed.
+	anchors := make([][]*big.Int, v)
+	for k := range anchors {
+		anchors[k] = make([]*big.Int, h)
+	}
+	cur := new(big.Int).Set(base)
+	shift := new(big.Int).Lsh(one, uint(b))
+	for m := 0; m < h*v; m++ {
+		k, j := m%v, m/v
+		anchors[k][j] = new(big.Int).Set(cur)
+		if m < h*v-1 {
+			cur.Exp(cur, shift, pp.N)
+		}
+	}
+
+	// Each table entry extends the entry with its lowest set bit cleared by
+	// one anchor multiply, so the 2^h-entry table costs 2^h multiplies.
+	mc := modCtx{n: pp.N}
+	fb.tables = make([][]*big.Int, v)
+	for k := 0; k < v; k++ {
+		tab := make([]*big.Int, 1<<h)
+		for u := 1; u < 1<<h; u++ {
+			low := u & (-u)
+			rest := u ^ low
+			j := bits.TrailingZeros(uint(low))
+			if rest == 0 {
+				tab[u] = anchors[k][j]
+				continue
+			}
+			z := new(big.Int)
+			mc.mul(z, tab[rest], anchors[k][j])
+			tab[u] = z
+		}
+		fb.tables[k] = tab
+	}
+	return fb, nil
+}
+
+// CapBits reports the largest exponent bit length the table covers.
+func (fb *FixedBase) CapBits() int { return fb.capBits }
+
+// Base returns a copy of the fixed base.
+func (fb *FixedBase) Base() *big.Int { return new(big.Int).Set(fb.base) }
+
+// Exp computes base^e mod N. Exponents beyond the table capacity (or
+// negative ones) fall back to big.Int.Exp on the stored base, so the result
+// is always defined and identical to the naive path. Safe for concurrent
+// use.
+func (fb *FixedBase) Exp(e *big.Int) *big.Int {
+	if e.Sign() < 0 || e.BitLen() > fb.capBits {
+		return new(big.Int).Exp(fb.base, e, fb.pp.N)
+	}
+	mc := modCtx{n: fb.pp.N}
+	r := getInt().Set(one)
+	started := false
+	ew := e.Bits()
+	bitAt := func(i int) uint {
+		wi := i / bits.UintSize
+		if wi >= len(ew) {
+			return 0
+		}
+		return uint(ew[wi]>>(uint(i)%bits.UintSize)) & 1
+	}
+	for t := fb.b - 1; t >= 0; t-- {
+		if started {
+			mc.mul(r, r, r)
+		}
+		for k := 0; k < fb.v; k++ {
+			u := uint(0)
+			for j := 0; j < fb.teeth; j++ {
+				u |= bitAt(j*fb.a+k*fb.b+t) << j
+			}
+			if u == 0 {
+				continue
+			}
+			if !started {
+				r.Set(fb.tables[k][u])
+				started = true
+				continue
+			}
+			mc.mul(r, r, fb.tables[k][u])
+		}
+	}
+	out := new(big.Int)
+	if started {
+		out.Set(r)
+	} else {
+		out.SetInt64(1) // e == 0
+	}
+	putInt(r)
+	return out
+}

@@ -1,0 +1,38 @@
+package accumulator
+
+import (
+	"math/big"
+	"sync"
+)
+
+// intPool recycles big.Int scratch values across the hot paths (product
+// trees, comb evaluation, witness-tree descent). The values routinely grow
+// to full exponent width (hundreds of KB for large prime sets), so reusing
+// their backing arrays keeps the per-query allocation profile flat.
+var intPool = sync.Pool{New: func() any { return new(big.Int) }}
+
+// getInt borrows a scratch big.Int. Its value is unspecified; callers must
+// overwrite before reading.
+func getInt() *big.Int { return intPool.Get().(*big.Int) }
+
+// putInt returns scratch values to the pool. Callers must not retain any
+// reference (including aliased Bits slices) after the call.
+func putInt(xs ...*big.Int) {
+	for _, x := range xs {
+		intPool.Put(x)
+	}
+}
+
+// modCtx performs modular multiplication with caller-owned scratch so inner
+// loops run allocation-free. Not safe for concurrent use; each goroutine
+// takes its own.
+type modCtx struct {
+	n    *big.Int
+	t, q big.Int
+}
+
+// mul sets z = x*y mod n. z may alias x or y.
+func (m *modCtx) mul(z, x, y *big.Int) {
+	m.t.Mul(x, y)
+	m.q.QuoRem(&m.t, m.n, z)
+}

@@ -1,0 +1,142 @@
+package accumulator
+
+import (
+	"math/big"
+	"sync"
+)
+
+// maxWitnessNodes caps the memoized heap of a WitnessTree. Segments that
+// would fall below the cap are recomputed per query instead of cached; at
+// 1<<18 nodes every realistic benchmark set (hundreds of thousands of
+// primes) is fully memoized while the bookkeeping stays under a few MB.
+const maxWitnessNodes = 1 << 18
+
+// witProductLeaf is the segment size below which subproducts are computed
+// directly instead of via memoized children.
+const witProductLeaf = 16
+
+// WitnessTree answers on-demand membership-witness queries by lazily
+// memoizing the recursion tree of the RootFactor algorithm
+// (Sander–Ta-Shma–Yung): node (lo,hi) holds g^(Π X \ X[lo:hi]), its child
+// is the node raised to the sibling segment's prime product, and the leaf
+// (i,i+1) is exactly the membership witness for X[i].
+//
+// A cold single witness costs the same O(|X|) exponent bits as MemWit —
+// split across log |X| calls — but every subsequent witness reuses all
+// ancestors it shares with earlier queries, so k queries cost at most the
+// bits of the O(min(k·log|X|, |X|)) distinct tree nodes they touch instead
+// of k·|X|. A query load that eventually touches every member pays the
+// RootFactor total, never more.
+//
+// The tree snapshots the prime slice it is given: the caller must not
+// mutate the slice or its elements afterwards, and must discard the tree
+// when the accumulated set changes (witnesses for the old set do not verify
+// against the new accumulation value). All methods are safe for concurrent
+// use; concurrent first touches of one node are serialized per node.
+type WitnessTree struct {
+	pp     *PublicParams
+	primes []*big.Int
+	fb     *FixedBase // optional comb for the generator; nil falls back to Exp
+
+	// Heap-ordered node store (1-indexed, children 2k/2k+1), mirroring the
+	// rootFactor mid = len/2 segmentation so outputs match it bit for bit.
+	vals     []*big.Int
+	prods    []*big.Int
+	valOnce  []sync.Once
+	prodOnce []sync.Once
+}
+
+// NewWitnessTree builds an empty (nothing yet memoized) witness tree over
+// primes. fb, when non-nil, must be a comb for pp.G; it accelerates the
+// top-level nodes whose base is the generator.
+func (pp *PublicParams) NewWitnessTree(primes []*big.Int, fb *FixedBase) *WitnessTree {
+	n := len(primes)
+	// Heap size for a mid=len/2 split tree: leaves live at depth
+	// ceil(log2 n), so indices stay below 2^(depth+1).
+	size := 2
+	for size < 4*n && size < maxWitnessNodes {
+		size *= 2
+	}
+	return &WitnessTree{
+		pp:       pp,
+		primes:   primes,
+		fb:       fb,
+		vals:     make([]*big.Int, size),
+		prods:    make([]*big.Int, size),
+		valOnce:  make([]sync.Once, size),
+		prodOnce: make([]sync.Once, size),
+	}
+}
+
+// Len reports the number of accumulated primes the tree covers.
+func (wt *WitnessTree) Len() int { return len(wt.primes) }
+
+// Witness returns the membership witness for primes[i], identical to
+// RootFactor's output for that index. The result is freshly allocated.
+func (wt *WitnessTree) Witness(i int) *big.Int {
+	if i < 0 || i >= len(wt.primes) {
+		return nil
+	}
+	k, lo, hi := 1, 0, len(wt.primes)
+	cur := wt.pp.G // current node value; never mutated in place
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		var next, slo, shi int // child index and sibling segment
+		if i < mid {
+			next, slo, shi = 2*k, mid, hi
+			hi = mid
+		} else {
+			next, slo, shi = 2*k+1, lo, mid
+			lo = mid
+		}
+		cur = wt.childValue(next, cur, k, slo, shi)
+		k = next
+	}
+	return new(big.Int).Set(cur)
+}
+
+// childValue resolves child node k (= parent raised to the sibling
+// segment's product), memoizing when the index fits the heap.
+func (wt *WitnessTree) childValue(k int, parent *big.Int, parentIdx, slo, shi int) *big.Int {
+	if k >= len(wt.vals) {
+		e := wt.segmentProduct(sibIndex(k), slo, shi)
+		defer putInt(e)
+		return wt.exp(parent, e, parentIdx)
+	}
+	wt.valOnce[k].Do(func() {
+		e := wt.segmentProduct(sibIndex(k), slo, shi)
+		defer putInt(e)
+		wt.vals[k] = wt.exp(parent, e, parentIdx)
+	})
+	return wt.vals[k]
+}
+
+// exp raises base^e, routing through the generator comb when the base is
+// the generator itself (only the root's children qualify).
+func (wt *WitnessTree) exp(base, e *big.Int, parentIdx int) *big.Int {
+	if wt.fb != nil && parentIdx == 1 {
+		return wt.fb.Exp(e)
+	}
+	return new(big.Int).Exp(base, e, wt.pp.N)
+}
+
+// sibIndex maps a child heap index to its sibling's.
+func sibIndex(k int) int { return k ^ 1 }
+
+// segmentProduct returns Π primes[lo:hi] into pooled scratch (caller
+// returns it with putInt), memoizing interior products that fit the heap.
+func (wt *WitnessTree) segmentProduct(k, lo, hi int) *big.Int {
+	out := getInt()
+	if k < len(wt.prods) && hi-lo > witProductLeaf {
+		wt.prodOnce[k].Do(func() {
+			mid := lo + (hi-lo)/2
+			l := wt.segmentProduct(2*k, lo, mid)
+			r := wt.segmentProduct(2*k+1, mid, hi)
+			wt.prods[k] = new(big.Int).Mul(l, r)
+			putInt(l, r)
+		})
+		return out.Set(wt.prods[k])
+	}
+	productTree(out, wt.primes[lo:hi])
+	return out
+}

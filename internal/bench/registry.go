@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"ablation-accumulator", "Accumulator update strategies", (*Runner).AblationAccumulator},
 		{"ablation-witness", "Witness generation strategies", (*Runner).AblationWitness},
 		{"ablation-witness-maintenance", "Cached-witness maintenance on insert", (*Runner).AblationWitnessMaintenance},
+		{"ablation-fastpath", "Big-number fast paths: aggregation, comb, witness tree", (*Runner).AblationFastpath},
 		{"ablation-parallel-search", "Serial vs parallel search & verification pipeline", (*Runner).AblationParallelSearch},
 		{"ablation-vo-merkle", "Accumulator VO vs Merkle proof", (*Runner).AblationVOvsMerkle},
 		{"ablation-durability", "WAL fsync overhead & cold-start recovery", (*Runner).AblationDurability},

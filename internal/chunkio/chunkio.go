@@ -1,0 +1,35 @@
+// Package chunkio implements the length-prefixed chunk framing shared by the
+// crypto packages' hand-rolled serializers (accumulator parameters, trapdoor
+// keys): each chunk is a big-endian uint32 length followed by that many
+// bytes. The format is deliberately minimal — no tags, no varints — so the
+// encoders stay byte-for-byte stable across releases.
+package chunkio
+
+import "errors"
+
+// ErrShortPrefix indicates fewer than four bytes where a length was expected.
+var ErrShortPrefix = errors.New("chunkio: short length prefix")
+
+// ErrTruncated indicates a chunk body shorter than its declared length.
+var ErrTruncated = errors.New("chunkio: truncated chunk")
+
+// Append appends chunk to dst with a 4-byte big-endian length prefix and
+// returns the extended slice.
+func Append(dst, chunk []byte) []byte {
+	dst = append(dst, byte(len(chunk)>>24), byte(len(chunk)>>16), byte(len(chunk)>>8), byte(len(chunk)))
+	return append(dst, chunk...)
+}
+
+// Read splits data into its leading chunk and the remaining bytes. The
+// returned chunk aliases data; callers that retain it past the buffer's
+// lifetime must copy.
+func Read(data []byte) (chunk, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, ErrShortPrefix
+	}
+	n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+	if n < 0 || len(data)-4 < n {
+		return nil, nil, ErrTruncated
+	}
+	return data[4 : 4+n], data[4+n:], nil
+}

@@ -1,0 +1,39 @@
+package chunkio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	chunks := [][]byte{nil, {}, {0x01}, bytes.Repeat([]byte{0xab}, 300)}
+	var buf []byte
+	for _, c := range chunks {
+		buf = Append(buf, c)
+	}
+	rest := buf
+	for i, want := range chunks {
+		var got []byte
+		var err error
+		got, rest, err = Read(rest)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: got %x want %x", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %x", rest)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := Read([]byte{0, 0, 1}); !errors.Is(err, ErrShortPrefix) {
+		t.Fatalf("short prefix: got %v", err)
+	}
+	if _, _, err := Read([]byte{0, 0, 0, 5, 1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"slicer/internal/accumulator"
+	"slicer/internal/hprime"
 	"slicer/internal/mhash"
 	"slicer/internal/obs"
 	"slicer/internal/prf"
@@ -49,14 +51,70 @@ type Cloud struct {
 
 	index     *store.Index
 	primes    []*big.Int
-	primeSet  map[string]int      // prime bytes -> index into primes
-	witnesses map[string]*big.Int // prime bytes -> cached witness
-	ac        *big.Int
-	mode      WitnessMode
-	workers   int // per-request token fan-out; 0 = GOMAXPROCS, 1 = serial
-	met       cloudMetrics
+	primeSet  map[string]int       // prime bytes -> index into primes
+	witnesses map[string]*witEntry // prime bytes -> cached witness state
+	// journal holds, per lazily-applied update, the product of that batch's
+	// primes; witEntry.epoch records how many journal entries a witness has
+	// already folded in. Appended only under the write lock, entries
+	// immutable thereafter, so serve paths read it under the read lock.
+	journal       []*big.Int
+	pendingPrimes int
+	ac            *big.Int
+	mode          WitnessMode
+	wtree         *accumulator.WitnessTree // on-demand mode: memoized RootFactor tree
+	fbG           *accumulator.FixedBase   // comb over g feeding successive wtrees
+	workers       int                      // per-request token fan-out; 0 = GOMAXPROCS, 1 = serial
+	met           cloudMetrics
 
 	searchCalls atomic.Uint64 // Search invocations, for round-trip accounting
+}
+
+// witEntry is one cached witness. Entries mutate in two places: under the
+// cloud's write lock (eager refresh, rebuild), or under the entry's own
+// mutex while the caller holds the cloud's read lock (lazy fold on serve) —
+// the write lock excludes readers, so the two never race.
+type witEntry struct {
+	mu sync.Mutex
+	w  *big.Int // materialized witness; nil while batch is pending
+	// batch/exp defer a new prime's initial witness (batch.base^exp) until
+	// first served; epoch counts the journal prefix already folded into w.
+	batch *updateBatch
+	exp   *big.Int
+	epoch int
+}
+
+// updateBatch is the shared deferred-computation state of one lazy update:
+// the pre-update accumulation value all the batch's new witnesses start
+// from, plus a comb table over it, built at most once when the batch is big
+// enough that table reuse across the batch's witnesses pays for the build.
+type updateBatch struct {
+	base  *big.Int
+	size  int
+	teeth int
+	once  sync.Once
+	fb    *accumulator.FixedBase
+}
+
+// batchCombMin is the batch size from which a lazy update batch builds a
+// fixed-base comb over its base accumulation value.
+const batchCombMin = 32
+
+// treeCombMin is the prime count from which an on-demand cloud invests in a
+// generator comb for its witness trees (only once updates prove the tree
+// gets rebuilt; a single static tree never re-exponentiates g).
+const treeCombMin = 512
+
+func (b *updateBatch) comb(pp *accumulator.PublicParams) *accumulator.FixedBase {
+	b.once.Do(func() {
+		if b.size < batchCombMin {
+			return
+		}
+		fb, err := pp.NewFixedBase(b.base, b.size*hprime.PrimeBits, b.teeth)
+		if err == nil {
+			b.fb = fb
+		}
+	})
+	return b.fb
 }
 
 // NewCloud initializes a cloud from the owner's CloudState package.
@@ -85,6 +143,9 @@ func NewCloud(st *CloudState, mode WitnessMode) (*Cloud, error) {
 	c.addPrimes(st.Primes)
 	if mode == WitnessCached {
 		c.rebuildWitnesses()
+	}
+	if mode == WitnessOnDemand {
+		c.resetTree()
 	}
 	return c, nil
 }
@@ -127,12 +188,13 @@ func (c *Cloud) Ac() *big.Int {
 // takes the cloud's write lock, so in-flight searches drain first and later
 // ones observe the full delta.
 //
-// Cached witnesses are maintained by whichever strategy is cheaper for the
-// batch: incremental refresh costs one modular exponentiation per existing
-// witness (the new primes are multiplied into a single exponent first) plus
-// one per new prime, while a full RootFactor rebuild costs O(N log N) for
-// N = |X|+|X⁺|. Small trickle inserts refresh incrementally; bulk inserts
-// rebuild.
+// Cached-witness maintenance is lazy by default: the batch's prime product
+// is appended to a journal and each witness folds its pending exponents only
+// when next served, so the write-lock window costs O(|X⁺|) regardless of
+// cache size. Once the pending set passes Params.RebuildThreshold the cache
+// is rebuilt wholesale with RootFactor. Params.EagerWitnessRefresh restores
+// the eager strategy (every witness re-exponentiated inside the update);
+// served witnesses are byte-identical either way.
 func (c *Cloud) ApplyUpdate(out *UpdateOutput) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -143,42 +205,124 @@ func (c *Cloud) ApplyUpdate(out *UpdateOutput) error {
 	}
 	added := len(out.Primes)
 	total := len(c.primes) + added
-	rebuild := c.mode == WitnessCached && added > log2ceil(total)+1
-
-	if c.mode == WitnessCached && !rebuild && added > 0 {
-		// Batch the refresh exponent: w' = w^(Π x⁺) needs ONE modexp per
-		// cached witness instead of |X⁺| — same total exponent bits, but the
-		// per-call setup (window table, Montgomery transform) is paid once.
-		prod := new(big.Int).SetInt64(1)
-		for _, x := range out.Primes {
-			prod.Mul(prod, x)
-		}
-		for key, w := range c.witnesses {
-			c.witnesses[key] = new(big.Int).Exp(w, prod, c.accPub.N)
-		}
-	}
-	start := len(c.primes)
-	c.addPrimes(out.Primes)
 	switch {
-	case rebuild:
-		c.rebuildWitnesses()
-	case c.mode == WitnessCached && added > 0:
-		// Witness for new prime x_i: old Ac raised to Π_{k≠i} x⁺_k. The
-		// exponent is the batch product divided exactly by x_i — one modexp
-		// per new prime instead of an O(|X⁺|²) pairwise loop.
-		prod := new(big.Int).SetInt64(1)
-		for k := start; k < len(c.primes); k++ {
-			prod.Mul(prod, c.primes[k])
-		}
-		exp := new(big.Int)
-		for i := start; i < len(c.primes); i++ {
-			exp.Div(prod, c.primes[i])
-			w := new(big.Int).Exp(c.ac, exp, c.accPub.N)
-			c.witnesses[string(c.primes[i].Bytes())] = w
-		}
+	case c.mode != WitnessCached || added == 0:
+		c.addPrimes(out.Primes)
+	case c.params.EagerWitnessRefresh:
+		c.applyEager(out.Primes, total)
+	default:
+		c.applyLazy(out.Primes, total)
 	}
 	c.ac = new(big.Int).Set(out.Ac)
+	if c.mode == WitnessOnDemand {
+		// The accumulated set changed; the memoized witness tree is stale.
+		c.resetTree()
+	}
 	return nil
+}
+
+// applyEager is the write-lock-time maintenance strategy: refresh every
+// cached witness now (one modexp each, exponent = Π x⁺), or rebuild with
+// RootFactor when the batch is large relative to log2(N).
+func (c *Cloud) applyEager(newPrimes []*big.Int, total int) {
+	if len(newPrimes) > log2ceil(total)+1 {
+		c.addPrimes(newPrimes)
+		c.rebuildWitnesses()
+		return
+	}
+	prod := accumulator.Product(newPrimes)
+	for _, e := range c.witnesses {
+		e.w = new(big.Int).Exp(e.w, prod, c.accPub.N)
+	}
+	// Witness for new prime x_i: old Ac raised to Π_{k≠i} x⁺_k. The exponent
+	// is the batch product divided exactly by x_i — one modexp per new prime
+	// instead of an O(|X⁺|²) pairwise loop.
+	start := len(c.primes)
+	c.addPrimes(newPrimes)
+	exp := new(big.Int)
+	for i := start; i < len(c.primes); i++ {
+		exp.Div(prod, c.primes[i])
+		w := new(big.Int).Exp(c.ac, exp, c.accPub.N)
+		c.witnesses[string(c.primes[i].Bytes())] = &witEntry{w: w}
+	}
+}
+
+// applyLazy journals the batch instead of touching existing witnesses: each
+// entry's pending exponents fold in when it is next served (materialize).
+// New primes defer even their initial witness — the batch records the
+// pre-update accumulation value they all start from, plus a shared comb
+// table over it for large batches.
+func (c *Cloud) applyLazy(newPrimes []*big.Int, total int) {
+	if c.pendingPrimes+len(newPrimes) > c.rebuildThreshold(total) {
+		c.addPrimes(newPrimes)
+		c.rebuildWitnesses()
+		return
+	}
+	prod := accumulator.Product(newPrimes)
+	c.journal = append(c.journal, prod)
+	c.pendingPrimes += len(newPrimes)
+	batch := &updateBatch{base: new(big.Int).Set(c.ac), size: len(newPrimes), teeth: c.params.FixedBaseTeeth}
+	start := len(c.primes)
+	c.addPrimes(newPrimes)
+	for i := start; i < len(c.primes); i++ {
+		c.witnesses[string(c.primes[i].Bytes())] = &witEntry{
+			batch: batch,
+			exp:   new(big.Int).Div(prod, c.primes[i]),
+			epoch: len(c.journal), // the own batch is already in exp
+		}
+	}
+}
+
+// rebuildThreshold is the pending-prime budget before a lazy cloud rebuilds.
+func (c *Cloud) rebuildThreshold(total int) int {
+	if t := c.params.RebuildThreshold; t > 0 {
+		return t
+	}
+	if t := total / 4; t > 64 {
+		return t
+	}
+	return 64
+}
+
+// materialize returns the entry's up-to-date witness, computing a deferred
+// initial value and folding pending journal epochs first. Callers hold the
+// cloud's read lock; concurrent serves of the same entry serialize on the
+// entry mutex.
+func (c *Cloud) materialize(e *witEntry) *big.Int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.batch != nil {
+		if fb := e.batch.comb(c.accPub); fb != nil {
+			e.w = fb.Exp(e.exp)
+		} else {
+			e.w = new(big.Int).Exp(e.batch.base, e.exp, c.accPub.N)
+		}
+		e.batch, e.exp = nil, nil
+	}
+	if e.epoch < len(c.journal) {
+		// Fold all pending batches in one modexp; exponentiation composes,
+		// so this equals folding them one update at a time (eager mode).
+		pending := accumulator.Product(c.journal[e.epoch:])
+		e.w = new(big.Int).Exp(e.w, pending, c.accPub.N)
+		e.epoch = len(c.journal)
+	}
+	return e.w
+}
+
+// resetTree replaces the on-demand witness tree after the accumulated set
+// changed. The generator comb is built on the first rebuild (not at startup:
+// a deployment that never updates has exactly one tree, and a comb only pays
+// for itself across several) and is reused by every subsequent tree.
+func (c *Cloud) resetTree() {
+	needBits := (len(c.primes)/2 + 1) * hprime.PrimeBits // top tree nodes: ~half the set's bits
+	if c.wtree != nil && len(c.primes) >= treeCombMin &&
+		(c.fbG == nil || c.fbG.CapBits() < needBits) {
+		// Size for 2x the current set so trickle inserts don't rebuild it.
+		if fb, err := c.accPub.NewFixedBase(c.accPub.G, 2*needBits, c.params.FixedBaseTeeth); err == nil {
+			c.fbG = fb
+		}
+	}
+	c.wtree = c.accPub.NewWitnessTree(c.primes, c.fbG)
 }
 
 func log2ceil(n int) int {
@@ -198,12 +342,15 @@ func (c *Cloud) addPrimes(primes []*big.Int) {
 }
 
 // rebuildWitnesses recomputes the full witness cache with RootFactor
-// (O(|X| log |X|) modexps), fanned out across the available cores.
+// (O(|X| log |X|) modexps), fanned out across the available cores. It also
+// clears the lazy journal: every rebuilt witness is fully current.
 func (c *Cloud) rebuildWitnesses() {
-	c.witnesses = make(map[string]*big.Int, len(c.primes))
+	c.witnesses = make(map[string]*witEntry, len(c.primes))
 	for i, w := range c.accPub.RootFactorParallel(c.primes, runtime.GOMAXPROCS(0)) {
-		c.witnesses[string(c.primes[i].Bytes())] = w
+		c.witnesses[string(c.primes[i].Bytes())] = &witEntry{w: w}
 	}
+	c.journal = nil
+	c.pendingPrimes = 0
 }
 
 // IndexLen reports the number of stored index entries.
@@ -403,19 +550,30 @@ func (c *Cloud) witnessFor(tok SearchToken, er [][]byte) ([]byte, error) {
 	h := mhash.OfMultiset(er)
 	x := tokenPrime(tok.Trapdoor, tok.Epoch, tok.G1, tok.G2, h)
 	key := string(x.Bytes())
-	if _, ok := c.primeSet[key]; !ok {
+	idx, ok := c.primeSet[key]
+	if !ok {
 		return nil, fmt.Errorf("%w (prime %x...)", ErrUnknownToken, x.Bytes()[:4])
 	}
 	var w *big.Int
 	switch c.mode {
 	case WitnessCached:
-		w = c.witnesses[key]
-		if w == nil {
+		e := c.witnesses[key]
+		if e == nil {
 			return nil, fmt.Errorf("core: witness cache miss for accumulated prime")
 		}
+		w = c.materialize(e)
 	case WitnessOnDemand:
+		if c.wtree != nil && c.wtree.Len() == len(c.primes) {
+			w = c.wtree.Witness(idx)
+			break
+		}
 		var err error
 		w, err = c.accPub.MemWit(c.primes, x)
+		if errors.Is(err, accumulator.ErrNotMember) {
+			// Unreachable after the primeSet check above, but keep the typed
+			// branch so a future caller without that check degrades cleanly.
+			return nil, fmt.Errorf("%w (prime %x...)", ErrUnknownToken, x.Bytes()[:4])
+		}
 		if err != nil {
 			return nil, err
 		}

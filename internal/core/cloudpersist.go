@@ -46,11 +46,13 @@ func (c *Cloud) Marshal() ([]byte, error) {
 	if c.mode == WitnessCached {
 		st.Witnesses = make([][]byte, len(c.primes))
 		for i, p := range c.primes {
-			w, ok := c.witnesses[string(p.Bytes())]
+			e, ok := c.witnesses[string(p.Bytes())]
 			if !ok {
 				return nil, fmt.Errorf("core: witness cache missing entry %d", i)
 			}
-			st.Witnesses[i] = w.Bytes()
+			// Fold any lazily-pending update batches first, so the persisted
+			// format stays the same whether maintenance is eager or lazy.
+			st.Witnesses[i] = c.materialize(e).Bytes()
 		}
 	}
 	return json.Marshal(&st)
@@ -105,14 +107,17 @@ func UnmarshalCloud(data []byte) (*Cloud, error) {
 			c.rebuildWitnesses()
 			return c, nil
 		}
-		c.witnesses = make(map[string]*big.Int, len(primes))
+		c.witnesses = make(map[string]*witEntry, len(primes))
 		for i, wb := range st.Witnesses {
 			w := new(big.Int).SetBytes(wb)
 			if !accPub.VerifyMem(c.ac, primes[i], w) {
 				return nil, fmt.Errorf("core: cloud state: persisted witness %d is invalid", i)
 			}
-			c.witnesses[string(primes[i].Bytes())] = w
+			c.witnesses[string(primes[i].Bytes())] = &witEntry{w: w}
 		}
+	}
+	if mode == WitnessOnDemand {
+		c.resetTree()
 	}
 	return c, nil
 }

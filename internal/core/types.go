@@ -127,6 +127,24 @@ type Params struct {
 	// (GOMAXPROCS); 1 reproduces the serial pipeline exactly. Output is
 	// byte-identical at every setting.
 	SearchWorkers int
+	// EagerWitnessRefresh switches the cached-witness maintenance strategy
+	// on ApplyUpdate back to the eager one: every cached witness is
+	// re-exponentiated while the update holds the write lock (O(|X|) modexps
+	// per update). The default (false) journals the update batch and folds
+	// pending exponents into a witness only when it is next served, so
+	// updates cost O(|X⁺|) and searches pay one extra modexp per pending
+	// batch. Served witnesses are byte-identical under both strategies.
+	EagerWitnessRefresh bool
+	// RebuildThreshold caps the lazy journal: once the pending prime count
+	// would exceed it, ApplyUpdate discards the journal and rebuilds every
+	// witness with RootFactor instead. 0 picks max(64, |X|/4).
+	RebuildThreshold int
+	// FixedBaseTeeth overrides the comb width of the fixed-base
+	// exponentiation tables the cloud builds for bulk update batches and the
+	// on-demand witness tree (accumulator.FixedBase). 0 auto-sizes from the
+	// exponent capacity. Larger teeth trade table build time and memory for
+	// cheaper evaluations.
+	FixedBaseTeeth int
 }
 
 // DefaultParams returns the benchmark parameterization used throughout the
@@ -151,6 +169,12 @@ func (p Params) validate() error {
 	}
 	if p.SearchWorkers < 0 {
 		return fmt.Errorf("core: search workers must be >= 0, got %d", p.SearchWorkers)
+	}
+	if p.RebuildThreshold < 0 {
+		return fmt.Errorf("core: rebuild threshold must be >= 0, got %d", p.RebuildThreshold)
+	}
+	if p.FixedBaseTeeth < 0 || p.FixedBaseTeeth > 20 {
+		return fmt.Errorf("core: fixed-base teeth must be in [0,20], got %d", p.FixedBaseTeeth)
 	}
 	return nil
 }

@@ -1,0 +1,41 @@
+// Package entropy serves crypto/rand bytes through a buffered reader, so
+// hot paths that draw many small random values — a nonce per sealed index
+// entry, a trapdoor per keyword, a shuffle index per tuple — pay one
+// getrandom syscall per 4 KiB block instead of one per draw. On hosts where
+// getrandom is slow (containers without a vDSO fast path) the syscall is
+// tens of microseconds, which made it the dominant cost of index building.
+//
+// The bytes still come from the kernel CSPRNG and are never reused; the
+// only change is that up to one block of future output is briefly buffered
+// in user memory. Long-lived secret keys are generated directly from
+// crypto/rand (see trapdoor.GenerateKey, prf.NewKey) — key generation is
+// rare, so it keeps the most conservative path.
+package entropy
+
+import (
+	"bufio"
+	"crypto/rand"
+	"io"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any {
+	return bufio.NewReaderSize(rand.Reader, 4096)
+}}
+
+type reader struct{}
+
+// Reader is a concurrency-safe drop-in for crypto/rand's Reader.
+var Reader io.Reader = reader{}
+
+func (reader) Read(p []byte) (int, error) {
+	r := pool.Get().(*bufio.Reader)
+	n, err := io.ReadFull(r, p)
+	pool.Put(r)
+	return n, err
+}
+
+// Read fills p with buffered crypto/rand bytes.
+func Read(p []byte) (int, error) {
+	return Reader.Read(p)
+}

@@ -1,0 +1,70 @@
+package entropy
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestReadFillsExactly(t *testing.T) {
+	for _, n := range []int{1, 16, 64, 4095, 4096, 4097, 10000} {
+		p := make([]byte, n)
+		got, err := Read(p)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", n, err)
+		}
+		if got != n {
+			t.Fatalf("Read(%d) returned %d bytes", n, got)
+		}
+		if n >= 16 && bytes.Equal(p, make([]byte, n)) {
+			t.Fatalf("Read(%d) returned all zeros", n)
+		}
+	}
+}
+
+func TestConcurrentReadsDistinct(t *testing.T) {
+	const workers, draws = 8, 64
+	var mu sync.Mutex
+	seen := make(map[[16]byte]bool)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < draws; i++ {
+				var v [16]byte
+				if _, err := Read(v[:]); err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				dup := seen[v]
+				seen[v] = true
+				mu.Unlock()
+				if dup {
+					errs <- errDuplicate
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errDuplicate = errDup{}
+
+type errDup struct{}
+
+func (errDup) Error() string { return "entropy: duplicate 128-bit draw (reader reusing bytes)" }
+
+func BenchmarkRead16(b *testing.B) {
+	var v [16]byte
+	for i := 0; i < b.N; i++ {
+		Read(v[:])
+	}
+}

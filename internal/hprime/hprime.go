@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/big"
+	"math/bits"
 )
 
 // PrimeBits is the bit width of generated prime representatives. 128 bits
@@ -67,6 +68,8 @@ func Hash(data []byte) *big.Int {
 
 // HashCount is Hash instrumented with the number of candidates probed
 // before a prime was found; the on-chain verifier charges gas per probe.
+// Results are memoized in a bounded cache (see SetCacheCapacity): repeat
+// inputs return the identical prime and probe count without re-probing.
 func HashCount(data []byte) (*big.Int, int) {
 	// Expand to PrimeBytes of digest material (counter-mode SHA-256).
 	var buf []byte
@@ -79,15 +82,31 @@ func HashCount(data []byte) (*big.Int, int) {
 		h.Write(data)
 		buf = append(buf, h.Sum(nil)...)
 	}
+	// The first digest block is a collision-resistant fingerprint of data;
+	// use it as the memo key so cache hits skip the whole probe loop.
+	var key [sipWidth]byte
+	copy(key[:], buf)
+	if e, ok := cache.lookup(key); ok {
+		return new(big.Int).Set(e.prime), e.probes
+	}
 	cand := new(big.Int).SetBytes(buf[:PrimeBytes])
 	cand.SetBit(cand, PrimeBits-1, 1) // force full width
 	cand.SetBit(cand, 0, 1)           // force odd
 
-	// Seed the incremental residue table.
+	// Seed the incremental residue table with word arithmetic — folding the
+	// fixed-width candidate 64 bits at a time through bits.Rem64 (the running
+	// remainder is < p, as Rem64 requires). A big.Int division per sieve
+	// prime here would cost more than the ProbablyPrime calls the sieve
+	// saves.
+	var candWords [PrimeBytes]byte
+	cand.FillBytes(candWords[:])
 	residues := make([]uint64, len(smallPrimes))
-	var mod big.Int
 	for i, p := range smallPrimes {
-		residues[i] = mod.Mod(cand, mod.SetUint64(p)).Uint64()
+		var rem uint64
+		for off := 0; off < PrimeBytes; off += 8 {
+			rem = bits.Rem64(rem, binary.BigEndian.Uint64(candWords[off:]), p)
+		}
+		residues[i] = rem
 	}
 
 	two := big.NewInt(2)
@@ -102,6 +121,7 @@ func HashCount(data []byte) (*big.Int, int) {
 			}
 		}
 		if !smooth && cand.ProbablyPrime(millerRabinRounds) {
+			cache.store(key, cachedPrime{prime: new(big.Int).Set(cand), probes: probes})
 			return cand, probes
 		}
 		cand.Add(cand, two)

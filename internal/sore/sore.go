@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"slicer/internal/entropy"
 	"slicer/internal/prf"
 )
 
@@ -260,7 +261,7 @@ func CommonTuples(a, b [][]byte) int {
 // tuple positions are concealed within a single query (paper §V-B).
 func shuffle(tuples [][]byte) error {
 	for i := len(tuples) - 1; i > 0; i-- {
-		jBig, err := rand.Int(rand.Reader, big.NewInt(int64(i+1)))
+		jBig, err := rand.Int(entropy.Reader, big.NewInt(int64(i+1)))
 		if err != nil {
 			return fmt.Errorf("sore: shuffle: %w", err)
 		}

@@ -22,6 +22,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"slicer/internal/entropy"
 )
 
 // BlockSize is the width of encrypted record handles (one AES block).
@@ -109,7 +111,9 @@ const (
 func (c *Cipher) Seal(plaintext []byte) ([]byte, error) {
 	out := make([]byte, nonceSize+len(plaintext)+tagSize)
 	nonce := out[:nonceSize]
-	if _, err := rand.Read(nonce); err != nil {
+	// One sealed entry per index keyword makes nonce sampling hot; the
+	// buffered entropy reader amortizes the getrandom syscall.
+	if _, err := entropy.Read(nonce); err != nil {
 		return nil, fmt.Errorf("sample nonce: %w", err)
 	}
 	body := out[nonceSize : nonceSize+len(plaintext)]

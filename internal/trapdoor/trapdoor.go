@@ -18,6 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+
+	"slicer/internal/chunkio"
+	"slicer/internal/entropy"
 )
 
 // DefaultModulusBits is the default RSA modulus size. 1024 bits is used for
@@ -86,9 +89,11 @@ func (pk *PublicKey) Size() int {
 
 // Sample draws a uniformly random element of the permutation domain,
 // encoded at fixed width. It is used to mint fresh keyword trapdoors t_0.
+// Owners call it once per keyword during builds, so it draws through the
+// buffered entropy reader rather than a getrandom syscall per call.
 func (pk *PublicKey) Sample() ([]byte, error) {
 	upper := new(big.Int).Sub(pk.N, one)
-	v, err := rand.Int(rand.Reader, upper)
+	v, err := rand.Int(entropy.Reader, upper)
 	if err != nil {
 		return nil, fmt.Errorf("sample trapdoor: %w", err)
 	}
@@ -136,22 +141,22 @@ func (pk *PublicKey) decode(x []byte) (*big.Int, error) {
 // private exponent) for owner-state persistence. Treat the output as
 // sensitive material.
 func (sk *SecretKey) MarshalSecret() []byte {
-	out := appendChunk(nil, sk.N.Bytes())
-	out = appendChunk(out, sk.E.Bytes())
-	return appendChunk(out, sk.D.Bytes())
+	out := chunkio.Append(nil, sk.N.Bytes())
+	out = chunkio.Append(out, sk.E.Bytes())
+	return chunkio.Append(out, sk.D.Bytes())
 }
 
 // UnmarshalSecret parses a keypair produced by MarshalSecret.
 func UnmarshalSecret(data []byte) (*SecretKey, error) {
-	nb, rest, err := readChunk(data)
+	nb, rest, err := chunkio.Read(data)
 	if err != nil {
 		return nil, fmt.Errorf("trapdoor: parse modulus: %w", err)
 	}
-	eb, rest, err := readChunk(rest)
+	eb, rest, err := chunkio.Read(rest)
 	if err != nil {
 		return nil, fmt.Errorf("trapdoor: parse exponent: %w", err)
 	}
-	db, _, err := readChunk(rest)
+	db, _, err := chunkio.Read(rest)
 	if err != nil {
 		return nil, fmt.Errorf("trapdoor: parse private exponent: %w", err)
 	}
@@ -171,18 +176,18 @@ func (pk *PublicKey) MarshalPublic() []byte {
 	nb := pk.N.Bytes()
 	eb := pk.E.Bytes()
 	out := make([]byte, 0, 4+len(nb)+4+len(eb))
-	out = appendChunk(out, nb)
-	out = appendChunk(out, eb)
+	out = chunkio.Append(out, nb)
+	out = chunkio.Append(out, eb)
 	return out
 }
 
 // UnmarshalPublic parses a key produced by MarshalPublic.
 func UnmarshalPublic(data []byte) (*PublicKey, error) {
-	nb, rest, err := readChunk(data)
+	nb, rest, err := chunkio.Read(data)
 	if err != nil {
 		return nil, fmt.Errorf("trapdoor: parse modulus: %w", err)
 	}
-	eb, _, err := readChunk(rest)
+	eb, _, err := chunkio.Read(rest)
 	if err != nil {
 		return nil, fmt.Errorf("trapdoor: parse exponent: %w", err)
 	}
@@ -191,20 +196,4 @@ func UnmarshalPublic(data []byte) (*PublicKey, error) {
 		return nil, errors.New("trapdoor: invalid public key encoding")
 	}
 	return pk, nil
-}
-
-func appendChunk(dst, chunk []byte) []byte {
-	dst = append(dst, byte(len(chunk)>>24), byte(len(chunk)>>16), byte(len(chunk)>>8), byte(len(chunk)))
-	return append(dst, chunk...)
-}
-
-func readChunk(data []byte) (chunk, rest []byte, err error) {
-	if len(data) < 4 {
-		return nil, nil, errors.New("short length prefix")
-	}
-	n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
-	if n < 0 || len(data)-4 < n {
-		return nil, nil, errors.New("truncated chunk")
-	}
-	return data[4 : 4+n], data[4+n:], nil
 }

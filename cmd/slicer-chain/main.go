@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -51,6 +52,10 @@ func run() error {
 		idle       = flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections idle longer than this; 0 disables")
 		traceCap   = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "how many recent propagated traces to retain for /debug/traces")
 		traceSmpl  = flag.Int("trace-sample", 1, "retain 1 of every N propagated traces (slow outliers always kept)")
+		sloSpec    = flag.String("slo", "", `latency objectives, e.g. "name=submit,metric=rpc:submit,target=500ms,good=0.99,window=2m;..." or @objectives.conf`)
+		profileMax = flag.Int("profile-captures", obs.DefProfileMaxCaptures, "max retained profile bundles under <data-dir>/profiles; oldest evicted first")
+		profileCPU = flag.Duration("profile-cpu", obs.DefProfileCPUDuration, "CPU-profile window per capture")
+		labelCap   = flag.Int("label-cap", wire.DefaultTenantLabelCap, "max distinct tenant label values before new tenants collapse into \"other\"")
 	)
 	flag.Parse()
 	if *validators < 1 {
@@ -116,6 +121,7 @@ func run() error {
 	}
 
 	srv := wire.NewChainServer(network)
+	srv.Server().SetLabelCap(*labelCap)
 	srv.SetObservability(reg, logger)
 	if *dataDir != "" {
 		policy, interval, err := durable.ParsePolicy(*fsync)
@@ -139,8 +145,44 @@ func run() error {
 	srv.Server().SetIdleTimeout(*idle)
 	srv.Traces().SetCapacity(*traceCap)
 	srv.Traces().SetSampling(*traceSmpl)
+	var engine *obs.Engine
+	if *sloSpec != "" {
+		objs, err := obs.ParseObjectives(*sloSpec, wire.SLOAliases("chain",
+			wire.MethodChainSubmit, wire.MethodChainStep, wire.MethodChainReceipt,
+			wire.MethodChainBalance, wire.MethodChainNonce, wire.MethodChainCall,
+			wire.MethodChainHeight))
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		engine = obs.NewEngine(reg, objs, obs.EngineOptions{Logger: logger})
+		defer engine.Run(0)()
+	}
+	var prof *obs.Profiler
+	if *dataDir != "" {
+		prof, err = obs.NewProfiler(obs.ProfilerOptions{
+			Dir:         filepath.Join(*dataDir, "profiles"),
+			MaxCaptures: *profileMax,
+			CPUDuration: *profileCPU,
+			Registry:    reg,
+			Logger:      logger,
+		})
+		if err != nil {
+			return fmt.Errorf("profiler: %w", err)
+		}
+		if engine != nil {
+			engine.OnBreach(func(st obs.SLOStatus) { prof.Trigger("slo-" + st.Name) })
+		}
+	} else if engine != nil {
+		logger.Warn("continuous profiler disabled: -slo set without -data-dir, breaches will not capture profiles")
+	}
 	if *admin != "" {
-		adm, err := obs.StartAdmin(*admin, reg, srv.Traces(), logger)
+		adm, err := obs.StartAdminOpts(*admin, obs.AdminOptions{
+			Registry: reg,
+			Traces:   srv.Traces(),
+			Logger:   logger,
+			SLO:      engine,
+			Profiler: prof,
+		})
 		if err != nil {
 			return fmt.Errorf("admin endpoint: %w", err)
 		}

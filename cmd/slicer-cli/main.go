@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"slicer/internal/chain"
 	"slicer/internal/contract"
@@ -485,6 +486,20 @@ func cmdStatus(args []string) error {
 	fmt.Printf("cloud %s: %d index entries (%d bytes), %d primes (%d bytes)\n",
 		st.CloudAddr, stats.IndexEntries, stats.IndexBytes, stats.Primes, stats.ADSBytes)
 	fmt.Printf("  served %d searches, up %.0fs\n", stats.SearchCalls, stats.UptimeSeconds)
+	if w := stats.SearchWindow; w != nil && w.Count > 0 {
+		fmt.Printf("  search latency (last %.0fs, %d calls): p50 %s  p99 %s\n",
+			w.WindowSeconds, w.Count,
+			time.Duration(w.P50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(w.P99*float64(time.Second)).Round(time.Microsecond))
+	}
+	for _, slo := range stats.SLOs {
+		if slo.Missing {
+			fmt.Printf("  slo %-12s no data yet\n", slo.Name)
+			continue
+		}
+		fmt.Printf("  slo %-12s %-8s good %.4f  burn fast %.1f / slow %.1f\n",
+			slo.Name, slo.State, slo.GoodFraction, slo.FastBurn, slo.SlowBurn)
+	}
 
 	chainCli, err := wire.DialChainOpts(st.ChainAddr, dialOpts())
 	if err != nil {

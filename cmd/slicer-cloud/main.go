@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"slicer/internal/durable"
@@ -45,6 +46,10 @@ func run() error {
 	idle := flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections idle longer than this; 0 disables")
 	traceCap := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "how many recent propagated traces to retain for /debug/traces")
 	traceSample := flag.Int("trace-sample", 1, "retain 1 of every N propagated traces (slow outliers always kept)")
+	sloSpec := flag.String("slo", "", `latency objectives, e.g. "name=search,metric=rpc:search,target=250ms,good=0.99,window=2m;..." or @objectives.conf`)
+	profileMax := flag.Int("profile-captures", obs.DefProfileMaxCaptures, "max retained profile bundles under <data-dir>/profiles; oldest evicted first")
+	profileCPU := flag.Duration("profile-cpu", obs.DefProfileCPUDuration, "CPU-profile window per capture")
+	labelCap := flag.Int("label-cap", wire.DefaultTenantLabelCap, "max distinct tenant label values before new tenants collapse into \"other\"")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -54,12 +59,50 @@ func run() error {
 	reg := obs.NewRegistry()
 
 	srv := wire.NewCloudServer()
+	srv.Server().SetLabelCap(*labelCap)
 	srv.SetObservability(reg, logger)
 	srv.Server().SetIdleTimeout(*idle)
 	srv.Traces().SetCapacity(*traceCap)
 	srv.Traces().SetSampling(*traceSample)
+
+	var engine *obs.Engine
+	if *sloSpec != "" {
+		objs, err := obs.ParseObjectives(*sloSpec, wire.SLOAliases("cloud",
+			wire.MethodCloudInit, wire.MethodCloudUpdate, wire.MethodCloudSearch, wire.MethodCloudStats))
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		engine = obs.NewEngine(reg, objs, obs.EngineOptions{Logger: logger})
+		defer engine.Run(0)()
+		srv.AttachSLO(engine)
+	}
+	var prof *obs.Profiler
+	if *dataDir != "" {
+		prof, err = obs.NewProfiler(obs.ProfilerOptions{
+			Dir:         filepath.Join(*dataDir, "profiles"),
+			MaxCaptures: *profileMax,
+			CPUDuration: *profileCPU,
+			Registry:    reg,
+			Logger:      logger,
+		})
+		if err != nil {
+			return fmt.Errorf("profiler: %w", err)
+		}
+		if engine != nil {
+			engine.OnBreach(func(st obs.SLOStatus) { prof.Trigger("slo-" + st.Name) })
+		}
+	} else if engine != nil {
+		logger.Warn("continuous profiler disabled: -slo set without -data-dir, breaches will not capture profiles")
+	}
+
 	if *admin != "" {
-		adm, err := obs.StartAdmin(*admin, reg, srv.Traces(), logger)
+		adm, err := obs.StartAdminOpts(*admin, obs.AdminOptions{
+			Registry: reg,
+			Traces:   srv.Traces(),
+			Logger:   logger,
+			SLO:      engine,
+			Profiler: prof,
+		})
 		if err != nil {
 			return fmt.Errorf("admin endpoint: %w", err)
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"slicer"
 	"slicer/internal/chain"
@@ -54,10 +55,27 @@ func run() error {
 		return err
 	}
 	defer cloudSrv.Close()
+
+	// A latency objective over the cloud's search RPC: the engine reads the
+	// sliding-window histogram the wire server already maintains, so there
+	// is nothing extra to instrument.
+	slos := []obs.Objective{{
+		Name:      "search",
+		Metric:    wire.RPCDurationSeries("cloud", wire.MethodCloudSearch),
+		Target:    250 * time.Millisecond,
+		GoodRatio: 0.99,
+		Window:    2 * time.Minute,
+	}}
+	engine := obs.NewEngine(reg, slos, obs.EngineOptions{Logger: logger})
+	cloudSrv.AttachSLO(engine)
+
 	if *admin != "" {
 		// The admin endpoint serves the cloud's trace store: propagated
-		// traces land there as searches arrive (GET /debug/traces).
-		adm, err := obs.StartAdmin(*admin, reg, cloudSrv.Traces(), logger)
+		// traces land there as searches arrive (GET /debug/traces), and
+		// /debug/slo reports the objective states.
+		adm, err := obs.StartAdminOpts(*admin, obs.AdminOptions{
+			Registry: reg, Traces: cloudSrv.Traces(), Logger: logger, SLO: engine,
+		})
 		if err != nil {
 			return err
 		}
@@ -260,5 +278,14 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\nchain height %d; cloud earned %d in search fees\n", height, cloudBal-(1<<40))
+
+	// --- Live telemetry: windowed quantiles + objective states ---
+	if win, ok := reg.WindowSnapshotFor(wire.RPCDurationSeries("cloud", wire.MethodCloudSearch)); ok {
+		fmt.Printf("\ncloud.search window (last %.0fs): %d calls, p50 %.3fms p99 %.3fms\n",
+			win.WindowSeconds, win.Count, win.P50*1e3, win.P99*1e3)
+	}
+	engine.Evaluate()
+	fmt.Println("SLO states:")
+	_ = engine.WriteText(os.Stdout)
 	return nil
 }

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"slicer/internal/core"
+	"slicer/internal/obs"
+	"slicer/internal/wire"
+)
+
+// AblationObservability measures what the telemetry layer itself costs and
+// shows what it buys: a real wire cloud server is driven over loopback and
+// the sliding-window quantile view of rpc:cloud.search is reported next to
+// the mean, so the artifact records live p50/p90/p99/p999 for the search
+// RPC. The overhead row compares the same queries against an
+// un-instrumented server — the telemetry tax on the full RPC path.
+func (r *Runner) AblationObservability() (*Table, error) {
+	r.progress("ablation: observability — windowed quantiles and telemetry overhead ...")
+	bits := r.scale.Bits[0]
+	count := r.scale.Counts[0]
+	d, err := r.ensure(bits, count)
+	if err != nil {
+		return nil, err
+	}
+	queries := r.scale.Queries
+	values := d.queryValues(bits, queries, true)
+
+	// Reuse the runner's registry when the harness attached one (so the
+	// windowed gauges land in the per-experiment obs delta); otherwise the
+	// experiment is self-contained.
+	reg := r.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	// Both servers host byte-identical clouds: the memoized deployment's
+	// state, restored from one snapshot.
+	snap, err := d.cloud.Marshal()
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(reg *obs.Registry) (time.Duration, error) {
+		srv := wire.NewCloudServer()
+		if reg != nil {
+			srv.SetObservability(reg, obs.Nop())
+		}
+		if err := srv.Restore(snap); err != nil {
+			return 0, fmt.Errorf("restore: %w", err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+		cli, err := wire.DialCloud(addr)
+		if err != nil {
+			return 0, err
+		}
+		defer cli.Close()
+		// One untimed query absorbs per-server warm-up (witness caches,
+		// modexp tables) so the timed loop compares steady states.
+		warm, err := d.user.Token(core.Query{Op: core.OpEqual, Value: values[0]})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := cli.Search(warm); err != nil {
+			return 0, err
+		}
+		// Median per-query RPC time: witness cost varies per value, so the
+		// median compares the telemetry tax without outlier noise.
+		durs := make([]time.Duration, 0, queries)
+		for _, v := range values {
+			req, err := d.user.Token(core.Query{Op: core.OpEqual, Value: v})
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			if _, err := cli.Search(req); err != nil {
+				return 0, err
+			}
+			durs = append(durs, time.Since(start))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return durs[len(durs)/2], nil
+	}
+
+	instrumented, err := run(reg)
+	if err != nil {
+		return nil, err
+	}
+	bare, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "ablation-observability",
+		Title:   "Telemetry layer: windowed search quantiles and overhead",
+		Headers: []string{"series", "calls", "p50", "p90", "p99", "p999", "median RPC"},
+	}
+	series := wire.RPCDurationSeries("cloud", wire.MethodCloudSearch)
+	win, ok := reg.WindowSnapshotFor(series)
+	if !ok {
+		return nil, fmt.Errorf("windowed series %s not registered", series)
+	}
+	ms := func(s float64) string { return fmt.Sprintf("%.3fms", s*1e3) }
+	t.AddRow("rpc:cloud.search (windowed)", fmt.Sprintf("%d", win.Count),
+		ms(win.P50), ms(win.P90), ms(win.P99), ms(win.P999), fmtDur(instrumented))
+	t.AddRow("rpc:cloud.search (uninstrumented)", fmt.Sprintf("%d", queries),
+		"-", "-", "-", "-", fmtDur(bare))
+	overhead := float64(instrumented-bare) / float64(bare) * 100
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("quantiles from the %d×%s sliding-window histogram merged at read time; estimator error is bounded by the containing bucket width",
+			obs.DefWindowSubCount, obs.DefWindowSubWidth),
+		fmt.Sprintf("telemetry overhead on the median search RPC: %+.1f%% (labeled vectors + windowed histogram + exemplars)", overhead),
+	)
+	return t, nil
+}

@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{"ablation-parallel-search", "Serial vs parallel search & verification pipeline", (*Runner).AblationParallelSearch},
 		{"ablation-vo-merkle", "Accumulator VO vs Merkle proof", (*Runner).AblationVOvsMerkle},
 		{"ablation-durability", "WAL fsync overhead & cold-start recovery", (*Runner).AblationDurability},
+		{"ablation-observability", "Telemetry layer: windowed quantiles & overhead", (*Runner).AblationObservability},
 	}
 }
 

@@ -26,7 +26,12 @@ func newCloudMetrics(reg *obs.Registry) cloudMetrics {
 	if reg == nil {
 		return cloudMetrics{}
 	}
-	const phaseHelp = "Latency of one cloud search-pipeline phase, by phase."
+	// The search and phase histograms are sliding-window histograms: on
+	// top of the cumulative series they export live p50/p90/p99/p999
+	// gauges (<family>_window{quantile=...}) for SLOs and dashboards.
+	phases := reg.HistogramVecOpts("slicer_cloud_phase_seconds",
+		"Latency of one cloud search-pipeline phase, by phase.",
+		[]string{"phase"}, obs.VecOpts{Window: &obs.WindowOptions{}})
 	return cloudMetrics{
 		searches: reg.Counter("slicer_cloud_searches_total",
 			"Search requests served by the cloud."),
@@ -36,13 +41,13 @@ func newCloudMetrics(reg *obs.Registry) cloudMetrics {
 			"Search tokens processed across all requests."),
 		results: reg.Counter("slicer_cloud_results_total",
 			"Encrypted result entries returned across all requests."),
-		search: reg.Histogram("slicer_cloud_search_seconds",
+		search: reg.WindowedHistogram("slicer_cloud_search_seconds",
 			"Whole-request cloud search latency (Algorithm 4, all tokens)."),
-		collect: reg.Histogram(obs.Label("slicer_cloud_phase_seconds", "phase", "collect"), phaseHelp),
-		witness: reg.Histogram(obs.Label("slicer_cloud_phase_seconds", "phase", "witness"), phaseHelp),
+		collect: phases.WithLabelValues("collect"),
+		witness: phases.WithLabelValues("witness"),
 		updates: reg.Counter("slicer_cloud_updates_total",
 			"Index/ADS update deltas applied."),
-		updateDur: reg.Histogram("slicer_cloud_update_seconds",
+		updateDur: reg.WindowedHistogram("slicer_cloud_update_seconds",
 			"ApplyUpdate latency including cached-witness maintenance."),
 	}
 }

@@ -15,21 +15,41 @@ import (
 // expose behind -admin: Prometheus metrics, a liveness probe, expvar, the
 // trace store, and the full net/http/pprof surface.
 //
-//	GET /metrics              Prometheus text exposition (add ?format=json for JSON)
-//	GET /healthz              "ok" + uptime
-//	GET /debug/traces         retained traces as JSON; ?id=<traceId> renders one as text
-//	GET /debug/vars           expvar JSON
-//	GET /debug/pprof/...      pprof index, profiles, symbol, trace
+//	GET  /metrics                 Prometheus text exposition (add ?format=json for JSON)
+//	GET  /healthz                 "ok" + uptime
+//	GET  /debug/traces            retained traces as JSON; ?id=<traceId> renders one as text
+//	GET  /debug/slo               SLO statuses as JSON; ?format=text for an aligned render
+//	POST /debug/profile/capture   synchronous on-demand profile capture (GET works too)
+//	GET  /debug/vars              expvar JSON
+//	GET  /debug/pprof/...         pprof index, profiles, symbol, trace
 type Admin struct {
 	ln      net.Listener
 	srv     *http.Server
 	started time.Time
 }
 
+// AdminOptions wires optional subsystems into the admin endpoint. Every
+// field but Registry may be nil; the corresponding endpoints then serve
+// explicit "not configured" payloads instead of 404ing, so probes stay
+// stable across deployments.
+type AdminOptions struct {
+	Registry *Registry
+	Traces   *TraceStore
+	Logger   *slog.Logger
+	SLO      *Engine
+	Profiler *Profiler
+}
+
 // StartAdmin binds addr (":0" picks a free port) and serves the admin
 // endpoints for reg in a background goroutine. traces may be nil (the
 // /debug/traces endpoint then reports an empty store); logger may be nil.
 func StartAdmin(addr string, reg *Registry, traces *TraceStore, logger *slog.Logger) (*Admin, error) {
+	return StartAdminOpts(addr, AdminOptions{Registry: reg, Traces: traces, Logger: logger})
+}
+
+// StartAdminOpts is StartAdmin plus the SLO and profiler surfaces.
+func StartAdminOpts(addr string, opts AdminOptions) (*Admin, error) {
+	reg, traces, logger := opts.Registry, opts.Traces, opts.Logger
 	if logger == nil {
 		logger = Nop()
 	}
@@ -82,6 +102,37 @@ func StartAdmin(addr string, reg *Registry, traces *TraceStore, logger *slog.Log
 			return
 		}
 		_ = traces.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		if opts.SLO == nil {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"objectives":[]}`)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = opts.SLO.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = opts.SLO.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/profile/capture", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Profiler == nil {
+			http.Error(w, "profiler not configured (start the server with -data-dir)", http.StatusNotFound)
+			return
+		}
+		dir, err := opts.Profiler.CaptureNow("manual")
+		if err != nil {
+			status := http.StatusInternalServerError
+			if err == ErrCaptureInFlight || err == ErrCaptureRateLimited {
+				status = http.StatusTooManyRequests
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"dir\": %q}\n", dir)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,56 @@
+package obs
+
+import "sort"
+
+// Exemplar links one observed value to the trace that produced it. Each
+// histogram bucket retains the most recent exemplar that landed in it —
+// a single atomic pointer store per traced observation, so the hot path
+// stays lock-free. Exemplars are naturally sampled: only observations
+// carrying a trace ID (i.e. requests the trace sampler picked) store one.
+type Exemplar struct {
+	TraceID string  `json:"traceId"`
+	Value   float64 `json:"value"`
+}
+
+// ObserveExemplar records v like Observe and, when traceID is non-empty,
+// retains {traceID, v} as the bucket's exemplar. No-op on a nil histogram.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[sort.SearchFloat64s(h.bounds, v)].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// bucketExemplar reads bucket i's exemplar (nil when none stored).
+func (h *Histogram) bucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// ExemplarNear returns the exemplar closest (by bucket distance) to value
+// v — used by the SLO engine to hand an operator the trace behind a p99
+// estimate. It prefers the bucket containing v, then fans outward,
+// checking slower buckets before faster ones at equal distance.
+func (h *Histogram) ExemplarNear(v float64) (Exemplar, bool) {
+	if h == nil || len(h.exemplars) == 0 {
+		return Exemplar{}, false
+	}
+	b := sort.SearchFloat64s(h.bounds, v)
+	for off := 0; off < len(h.exemplars); off++ {
+		for _, i := range []int{b + off, b - off} {
+			if i < 0 || i >= len(h.exemplars) {
+				continue
+			}
+			if e := h.exemplars[i].Load(); e != nil {
+				return *e, true
+			}
+		}
+	}
+	return Exemplar{}, false
+}

@@ -31,6 +31,13 @@ var DefLatencyBuckets = []float64{
 	50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5, 5, 10,
 }
 
+// DefSizeBuckets are histogram bucket upper bounds for payload sizes, in
+// bytes: powers of four from 64B to the 64MiB wire message cap.
+var DefSizeBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536,
+	262144, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
 // atomicFloat is an atomic float64 (bit-cast into a uint64).
 type atomicFloat struct{ bits atomic.Uint64 }
 
@@ -107,13 +114,23 @@ type Histogram struct {
 	counts []atomic.Uint64
 	total  atomic.Uint64
 	sum    atomicFloat
+
+	// exemplars holds the most recent traced observation per bucket
+	// (index-aligned with counts); win, when set, mirrors observations
+	// into a sliding-window ring for live quantiles.
+	exemplars []atomic.Pointer[Exemplar]
+	win       atomic.Pointer[windowRing]
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value. No-op on a nil histogram.
@@ -124,6 +141,9 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
 	h.total.Add(1)
 	h.sum.Add(v)
+	if w := h.win.Load(); w != nil {
+		w.observe(v)
+	}
 }
 
 // Start reads the clock for a later ObserveSince. On a nil histogram it
@@ -223,14 +243,21 @@ type metric struct {
 // value is not usable; use NewRegistry. A nil *Registry is valid
 // everywhere and yields nil (no-op) instruments.
 type Registry struct {
-	mu      sync.Mutex
-	metrics map[string]*metric
-	help    map[string]string // by family
+	mu       sync.Mutex
+	metrics  map[string]*metric
+	help     map[string]string // by family
+	vecs     map[string]*vec   // labeled vectors by family
+	windowed map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{metrics: make(map[string]*metric), help: make(map[string]string)}
+	return &Registry{
+		metrics:  make(map[string]*metric),
+		help:     make(map[string]string),
+		vecs:     make(map[string]*vec),
+		windowed: make(map[string]*Histogram),
+	}
 }
 
 // splitName separates `family{labels}` into its parts.
@@ -407,7 +434,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindHistogram:
 			bounds, cum := m.hist.Buckets()
 			for i, le := range bounds {
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.family, joinLabels(m.labels, `le="`+formatFloat(le)+`"`), cum[i])
+				fmt.Fprintf(&b, "%s_bucket%s %d", m.family, joinLabels(m.labels, `le="`+formatFloat(le)+`"`), cum[i])
+				// OpenMetrics exemplar syntax: link the bucket to the most
+				// recent traced observation that landed in it.
+				if e := m.hist.bucketExemplar(i); e != nil {
+					fmt.Fprintf(&b, " # {trace_id=%q} %s", e.TraceID, formatFloat(e.Value))
+				}
+				b.WriteByte('\n')
 			}
 			fmt.Fprintf(&b, "%s_sum%s %s\n", m.family, braced(m.labels), formatFloat(m.hist.Sum()))
 			fmt.Fprintf(&b, "%s_count%s %d\n", m.family, braced(m.labels), m.hist.Count())

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestExpositionGolden pins the exact Prometheus text format for a small
@@ -24,6 +25,25 @@ func TestExpositionGolden(t *testing.T) {
 	h.Observe(0.05)
 	h.Observe(0.5)
 	h.Observe(5)
+
+	// A windowed histogram with a pinned clock: the cumulative series keeps
+	// its exact shape and four quantile gauges appear under e_seconds_window.
+	// With buckets {0.1, 1} and observations {0.05, 0.05, 0.5, 5}: p50
+	// interpolates to the first bound (target 2 = the bucket's count) and
+	// the higher quantiles land in +Inf, reporting the last finite bound.
+	now := time.Unix(1700000000, 0)
+	e := r.WindowedHistogramOpts("e_seconds", "A windowed latency.", []float64{0.1, 1},
+		WindowOptions{Clock: func() time.Time { return now }})
+	e.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	e.Observe(0.05)
+	e.Observe(0.5)
+	e.Observe(5)
+
+	// Vector children render their labels in sorted key order regardless of
+	// declaration order.
+	fv := r.CounterVec("f_total", "Vector things.", []string{"op", "kind"})
+	fv.WithLabelValues("eq", "warm").Add(4)
+	fv.WithLabelValues("lt", "cold").Add(5)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {
@@ -46,6 +66,26 @@ d_seconds_bucket{le="1"} 3
 d_seconds_bucket{le="+Inf"} 4
 d_seconds_sum 5.6
 d_seconds_count 4
+# HELP e_seconds A windowed latency.
+# TYPE e_seconds histogram
+e_seconds_bucket{le="0.1"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05
+e_seconds_bucket{le="1"} 3
+e_seconds_bucket{le="+Inf"} 4
+e_seconds_sum 5.6
+e_seconds_count 4
+# HELP e_seconds_window Sliding-window quantile estimate of e_seconds (bucket-interpolated).
+# TYPE e_seconds_window gauge
+e_seconds_window{quantile="p50"} 0.1
+e_seconds_window{quantile="p90"} 1
+e_seconds_window{quantile="p99"} 1
+e_seconds_window{quantile="p999"} 1
+# HELP f_total Vector things.
+# TYPE f_total counter
+f_total{kind="cold",op="lt"} 5
+f_total{kind="warm",op="eq"} 4
+# HELP slicer_obs_label_overflow_total Label-set lookups redirected to the sentinel other child because a vector hit its cardinality cap.
+# TYPE slicer_obs_label_overflow_total counter
+slicer_obs_label_overflow_total{family="f_total"} 0
 `
 	if got := buf.String(); got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

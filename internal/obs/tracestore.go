@@ -112,13 +112,18 @@ func (s *TraceStore) Record(tr *Trace) {
 	if s == nil || tr == nil {
 		return
 	}
-	st := StoredTrace{
+	s.record(StoredTrace{
 		ID:         tr.ID(),
 		Name:       tr.Name(),
 		Start:      tr.Start(),
 		DurationNs: tr.Elapsed(),
 		Spans:      tr.Spans(),
-	}
+	})
+}
+
+// record is the clock-free core of Record, split out so tests can insert
+// traces with crafted durations.
+func (s *TraceStore) record(st StoredTrace) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seen++

@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefLabelCap bounds the number of distinct label-value combinations a
+// vector materializes before redirecting new combinations to the sentinel
+// "other" child. Bounded cardinality is what keeps attacker- or
+// tenant-controlled label values (tenant IDs, method names from hostile
+// clients) from growing the registry without bound.
+const DefLabelCap = 64
+
+// labelValueMaxLen truncates label values on their way into a series name.
+const labelValueMaxLen = 64
+
+// OverflowCounterName counts label-set lookups redirected to the sentinel
+// child, labeled by the overflowing vector's family.
+const OverflowCounterName = "slicer_obs_label_overflow_total"
+
+// OverflowLabelValue is the sentinel label value overflowing children
+// collapse into.
+const OverflowLabelValue = "other"
+
+// VecOpts tunes a labeled vector.
+type VecOpts struct {
+	// MaxCardinality caps distinct children (default DefLabelCap).
+	MaxCardinality int
+	// Window, when non-nil, makes histogram children sliding-window
+	// histograms with this shape (see WindowedHistogramOpts).
+	Window *WindowOptions
+	// Buckets sets histogram children bounds (default DefLatencyBuckets).
+	Buckets []float64
+}
+
+// SanitizeLabelValue makes an arbitrary (possibly hostile) string safe to
+// embed in a series name: bytes that would break the exposition grammar
+// (quotes, backslashes, braces, separators, control bytes) become '_' and
+// the value is truncated to labelValueMaxLen.
+func SanitizeLabelValue(s string) string {
+	if len(s) > labelValueMaxLen {
+		s = s[:labelValueMaxLen]
+	}
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if labelValueBad(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	b := []byte(s)
+	for i := range b {
+		if labelValueBad(b[i]) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func labelValueBad(c byte) bool {
+	return c < 0x20 || c == 0x7f || c == '"' || c == '\\' || c == ',' || c == '=' || c == '{' || c == '}'
+}
+
+// renderPairs renders k1="v1",k2="v2" from a flat kv slice, sorted by key.
+func renderPairs(kv []string) string {
+	type pair struct{ k, v string }
+	ps := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		ps = append(ps, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	var b strings.Builder
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+// VecName renders the canonical child name for a labeled family: label
+// pairs sorted by label name, so exposition order is deterministic no
+// matter the declaration order. VecName("x_total", "op", "eq", "a", "b")
+// == `x_total{a="b",op="eq"}`.
+func VecName(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	return family + "{" + renderPairs(kv) + "}"
+}
+
+// parseLabelPairs scans a rendered label block (`k="v",k2="v2"`, values
+// %q-escaped) back into a flat kv slice. ok is false on any syntax it
+// did not itself produce.
+func parseLabelPairs(labels string) (kv []string, ok bool) {
+	s := labels
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		key := s[:eq]
+		rest := s[eq+1:]
+		i := 1
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return nil, false
+		}
+		val, err := strconv.Unquote(rest[:i+1])
+		if err != nil {
+			return nil, false
+		}
+		kv = append(kv, key, val)
+		s = rest[i+1:]
+		if s != "" {
+			if s[0] != ',' || len(s) == 1 {
+				return nil, false
+			}
+			s = s[1:]
+		}
+	}
+	return kv, true
+}
+
+// mergeLabelPairs re-renders a label block with one extra pair spliced in,
+// keeping the whole block sorted by label name. Unparseable blocks (never
+// produced by this package) fall back to appending.
+func mergeLabelPairs(labels, key, value string) string {
+	if labels == "" {
+		return renderPairs([]string{key, value})
+	}
+	kv, ok := parseLabelPairs(labels)
+	if !ok {
+		return labels + "," + renderPairs([]string{key, value})
+	}
+	return renderPairs(append(kv, key, value))
+}
+
+// vecChild is one materialized label combination.
+type vecChild struct {
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// vec is the kind-agnostic core of CounterVec/GaugeVec/HistogramVec: a
+// bounded map from label values to registered children. Children register
+// under VecName(family, ...) so exposition stays deterministic.
+type vec struct {
+	reg      *Registry
+	family   string
+	help     string
+	kind     metricKind
+	keys     []string
+	max      int
+	window   *WindowOptions
+	buckets  []float64
+	overflow *Counter
+
+	mu       sync.RWMutex
+	children map[string]*vecChild
+	other    *vecChild
+}
+
+// vecFor looks up or creates the vector for family, enforcing kind and
+// label-key consistency across call sites.
+func (r *Registry) vecFor(family, help string, kind metricKind, keys []string, opts VecOpts) *vec {
+	r.mu.Lock()
+	if v, ok := r.vecs[family]; ok {
+		if v.kind != kind {
+			r.mu.Unlock()
+			panic(fmt.Sprintf("obs: vector %q re-registered as %s (was %s)", family, kind, v.kind))
+		}
+		if len(v.keys) != len(keys) || !equalStrings(v.keys, keys) {
+			r.mu.Unlock()
+			panic(fmt.Sprintf("obs: vector %q re-registered with labels %v (was %v)", family, keys, v.keys))
+		}
+		r.mu.Unlock()
+		return v
+	}
+	max := opts.MaxCardinality
+	if max <= 0 {
+		max = DefLabelCap
+	}
+	buckets := opts.Buckets
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	v := &vec{
+		reg:      r,
+		family:   family,
+		help:     help,
+		kind:     kind,
+		keys:     append([]string(nil), keys...),
+		max:      max,
+		window:   opts.Window,
+		buckets:  buckets,
+		children: make(map[string]*vecChild),
+	}
+	r.vecs[family] = v
+	r.mu.Unlock()
+	v.overflow = r.Counter(Label(OverflowCounterName, "family", family),
+		"Label-set lookups redirected to the sentinel other child because a vector hit its cardinality cap.")
+	return v
+}
+
+func equalStrings(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// with resolves (creating if under the cap) the child for values. Each
+// lookup that lands on the sentinel child also counts one overflow.
+func (v *vec) with(values []string) *vecChild {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: vector %q got %d label values for %d labels", v.family, len(values), len(v.keys)))
+	}
+	for i, val := range values {
+		values[i] = SanitizeLabelValue(val)
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[key]; c != nil {
+		return c
+	}
+	if len(v.children) >= v.max {
+		v.overflow.Inc()
+		if v.other == nil {
+			sentinel := make([]string, len(v.keys))
+			for i := range sentinel {
+				sentinel[i] = OverflowLabelValue
+			}
+			v.other = v.newChild(sentinel)
+		}
+		return v.other
+	}
+	c = v.newChild(values)
+	v.children[key] = c
+	return c
+}
+
+// newChild registers one child under its canonical sorted-label name.
+func (v *vec) newChild(values []string) *vecChild {
+	kv := make([]string, 0, len(v.keys)*2)
+	for i, k := range v.keys {
+		kv = append(kv, k, values[i])
+	}
+	name := VecName(v.family, kv...)
+	c := &vecChild{}
+	switch v.kind {
+	case kindCounter:
+		c.counter = v.reg.Counter(name, v.help)
+	case kindGauge:
+		c.gauge = v.reg.Gauge(name, v.help)
+	case kindHistogram:
+		if v.window != nil {
+			c.hist = v.reg.WindowedHistogramOpts(name, v.help, v.buckets, *v.window)
+		} else {
+			c.hist = v.reg.HistogramBuckets(name, v.help, v.buckets)
+		}
+	}
+	return c
+}
+
+// CounterVec is a family of counters split by label values.
+type CounterVec struct{ v *vec }
+
+// CounterVec returns the labeled counter family under name, creating it on
+// first use. Nil-safe like every registry method.
+func (r *Registry) CounterVec(name, help string, labels []string) *CounterVec {
+	return r.CounterVecOpts(name, help, labels, VecOpts{})
+}
+
+// CounterVecOpts is CounterVec with explicit vector options.
+func (r *Registry) CounterVecOpts(name, help string, labels []string, opts VecOpts) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.vecFor(name, help, kindCounter, labels, opts)}
+}
+
+// WithLabelValues resolves the child counter for the given label values
+// (declaration order). Nil-safe: a nil vector yields a nil counter.
+func (c *CounterVec) WithLabelValues(values ...string) *Counter {
+	if c == nil || c.v == nil {
+		return nil
+	}
+	return c.v.with(values).counter
+}
+
+// GaugeVec is a family of gauges split by label values.
+type GaugeVec struct{ v *vec }
+
+// GaugeVec returns the labeled gauge family under name.
+func (r *Registry) GaugeVec(name, help string, labels []string) *GaugeVec {
+	return r.GaugeVecOpts(name, help, labels, VecOpts{})
+}
+
+// GaugeVecOpts is GaugeVec with explicit vector options.
+func (r *Registry) GaugeVecOpts(name, help string, labels []string, opts VecOpts) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.vecFor(name, help, kindGauge, labels, opts)}
+}
+
+// WithLabelValues resolves the child gauge for the given label values.
+func (g *GaugeVec) WithLabelValues(values ...string) *Gauge {
+	if g == nil || g.v == nil {
+		return nil
+	}
+	return g.v.with(values).gauge
+}
+
+// HistogramVec is a family of histograms split by label values.
+type HistogramVec struct{ v *vec }
+
+// HistogramVec returns the labeled histogram family under name with the
+// default latency buckets.
+func (r *Registry) HistogramVec(name, help string, labels []string) *HistogramVec {
+	return r.HistogramVecOpts(name, help, labels, VecOpts{})
+}
+
+// HistogramVecOpts is HistogramVec with explicit vector options; set
+// opts.Window to make every child a sliding-window histogram.
+func (r *Registry) HistogramVecOpts(name, help string, labels []string, opts VecOpts) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r.vecFor(name, help, kindHistogram, labels, opts)}
+}
+
+// WithLabelValues resolves the child histogram for the given label values.
+func (h *HistogramVec) WithLabelValues(values ...string) *Histogram {
+	if h == nil || h.v == nil {
+		return nil
+	}
+	return h.v.with(values).hist
+}

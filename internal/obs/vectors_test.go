@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestVecChildIdentity checks that a (family, label values) pair always
+// resolves to the same child, shared with direct registry lookups.
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "", []string{"method", "outcome"})
+	a := v.WithLabelValues("search", "ok")
+	b := v.WithLabelValues("search", "ok")
+	if a != b {
+		t.Error("same label values resolved to different children")
+	}
+	a.Add(2)
+	// The child is a plain registry metric under its sorted full name.
+	direct := r.Counter(VecName("req_total", "method", "search", "outcome", "ok"), "")
+	if direct.Value() != 2 {
+		t.Errorf("direct lookup = %v, want 2", direct.Value())
+	}
+	if other := v.WithLabelValues("search", "error"); other == a {
+		t.Error("different outcomes share a child")
+	}
+}
+
+// TestVecCardinalityCap checks the overflow behavior: past the cap every
+// new label set lands on the all-"other" sentinel and each redirected
+// lookup increments the overflow counter.
+func TestVecCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVecOpts("tenant_total", "", []string{"tenant"}, VecOpts{MaxCardinality: 2})
+	v.WithLabelValues("a").Inc()
+	v.WithLabelValues("b").Inc()
+	v.WithLabelValues("c").Inc() // overflow 1
+	v.WithLabelValues("d").Inc() // overflow 2
+	v.WithLabelValues("a").Inc() // existing child: no overflow
+
+	snap := r.Snapshot()
+	if got := snap[VecName("tenant_total", "tenant", "a")]; got != 2 {
+		t.Errorf("tenant a = %v, want 2", got)
+	}
+	if got := snap[VecName("tenant_total", "tenant", OverflowLabelValue)]; got != 2 {
+		t.Errorf("sentinel = %v, want 2", got)
+	}
+	if got := snap[Label(OverflowCounterName, "family", "tenant_total")]; got != 2 {
+		t.Errorf("overflow counter = %v, want 2", got)
+	}
+	// The sentinel child is not counted against the cap: "a" and "b" keep
+	// their dedicated series.
+	if got := snap[VecName("tenant_total", "tenant", "b")]; got != 1 {
+		t.Errorf("tenant b = %v, want 1", got)
+	}
+}
+
+// TestVecLabelSanitization checks hostile label values cannot break the
+// exposition format or explode series length.
+func TestVecLabelSanitization(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("evil_total", "", []string{"tenant"})
+	v.WithLabelValues("x\"y{z},=\n").Inc()
+	v.WithLabelValues(strings.Repeat("A", 500)).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if strings.Count(line, `"`)%2 != 0 {
+			t.Errorf("unbalanced quotes in exposition line %q", line)
+		}
+		if len(line) > 200 {
+			t.Errorf("series name not truncated: %d bytes", len(line))
+		}
+	}
+	if strings.Contains(sb.String(), "\n\n") {
+		t.Error("control bytes leaked into the exposition")
+	}
+}
+
+// TestVecPanics pins the programmer-error contracts: wrong arity, label
+// key conflicts and kind conflicts panic immediately.
+func TestVecPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("p_total", "", []string{"a", "b"})
+	mustPanic(t, "arity", func() { v.WithLabelValues("only-one") })
+	mustPanic(t, "label keys", func() { r.CounterVec("p_total", "", []string{"other"}) })
+	mustPanic(t, "kind", func() { r.GaugeVec("p_total", "", []string{"a", "b"}) })
+}
+
+// TestVecConcurrency hammers one vector from many goroutines; run under
+// -race this pins the lock discipline of the child map and sentinel path.
+func TestVecConcurrency(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVecOpts("c_total", "", []string{"k"}, VecOpts{MaxCardinality: 4})
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.WithLabelValues(keys[(g+i)%len(keys)]).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total float64
+	for name, val := range r.Snapshot() {
+		if strings.HasPrefix(name, "c_total{") {
+			total += val
+		}
+	}
+	if total != 8000 {
+		t.Errorf("total across children = %v, want 8000 (no lost increments)", total)
+	}
+}
+
+// TestHistogramVecWindowed checks that HistogramVec children created with
+// a Window option each get their own ring and quantile gauges.
+func TestHistogramVecWindowed(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVecOpts("phase_seconds", "", []string{"phase"},
+		VecOpts{Window: &WindowOptions{}})
+	hv.WithLabelValues("collect").Observe(0.01)
+	hv.WithLabelValues("witness").Observe(0.5)
+
+	snap := r.Snapshot()
+	collectP99 := `phase_seconds_window{phase="collect",quantile="p99"}`
+	witnessP99 := `phase_seconds_window{phase="witness",quantile="p99"}`
+	if snap[collectP99] <= 0 || snap[witnessP99] <= 0 {
+		t.Fatalf("windowed gauges missing: collect=%v witness=%v", snap[collectP99], snap[witnessP99])
+	}
+	if snap[collectP99] >= snap[witnessP99] {
+		t.Errorf("rings are shared: collect p99 %v >= witness p99 %v", snap[collectP99], snap[witnessP99])
+	}
+}
+
+// TestExemplarNear checks exemplar retention and nearest-bucket lookup.
+func TestExemplarNear(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("x_seconds", "", []float64{0.1, 1, 10})
+	if _, ok := h.ExemplarNear(0.5); ok {
+		t.Fatal("empty histogram returned an exemplar")
+	}
+	h.ObserveExemplar(0.05, "trace-fast")
+	h.ObserveExemplar(5, "trace-slow")
+	h.Observe(0.5) // no trace: leaves no exemplar
+
+	if ex, ok := h.ExemplarNear(0.05); !ok || ex.TraceID != "trace-fast" {
+		t.Errorf("exact bucket = %+v, %v", ex, ok)
+	}
+	// The middle bucket (0.1, 1] has no exemplar; lookup fans outward and
+	// prefers the slower neighbor at equal distance.
+	if ex, ok := h.ExemplarNear(0.5); !ok || ex.TraceID != "trace-slow" {
+		t.Errorf("fan-out = %+v, %v", ex, ok)
+	}
+	// A newer exemplar in the same bucket replaces the old one.
+	h.ObserveExemplar(0.06, "trace-fast-2")
+	if ex, _ := h.ExemplarNear(0.05); ex.TraceID != "trace-fast-2" {
+		t.Errorf("exemplar not replaced: %+v", ex)
+	}
+	// Nil safety.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "t")
+	if _, ok := nilH.ExemplarNear(1); ok {
+		t.Error("nil histogram returned an exemplar")
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

@@ -99,10 +99,13 @@ func (cs *ChainServer) SetObservability(reg *obs.Registry, logger *slog.Logger) 
 	reg.GaugeFunc("slicer_chain_uptime_seconds",
 		"Seconds since the chain server started.",
 		func() float64 { return time.Since(cs.started).Seconds() })
-	const phaseHelp = "Latency of one chain settlement phase, by phase."
+	// Windowed phase vector: cumulative buckets plus live quantile gauges.
+	phases := reg.HistogramVecOpts("slicer_chain_phase_seconds",
+		"Latency of one chain settlement phase, by phase.",
+		[]string{"phase"}, obs.VecOpts{Window: &obs.WindowOptions{}})
 	cs.mu.Lock()
-	cs.submitDur = reg.Histogram(obs.Label("slicer_chain_phase_seconds", "phase", "submit"), phaseHelp)
-	cs.sealDur = reg.Histogram(obs.Label("slicer_chain_phase_seconds", "phase", "seal"), phaseHelp)
+	cs.submitDur = phases.WithLabelValues("submit")
+	cs.sealDur = phases.WithLabelValues("seal")
 	cs.blocks = reg.Counter("slicer_chain_blocks_total", "Blocks sealed.")
 	cs.txs = reg.Counter("slicer_chain_txs_total", "Transactions executed in sealed blocks.")
 	cs.gasUsed = reg.Counter("slicer_chain_gas_used_total",

@@ -55,6 +55,12 @@ type CloudStats struct {
 	SearchCalls uint64 `json:"searchCalls"`
 	// UptimeSeconds is how long the server process has been up.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// SearchWindow is the live sliding-window latency view of cloud.search
+	// (nil when the server runs without a metrics registry).
+	SearchWindow *obs.WindowSnapshot `json:"searchWindow,omitempty"`
+	// SLOs are the current objective states (empty when no SLO engine is
+	// attached).
+	SLOs []obs.SLOStatus `json:"slos,omitempty"`
 }
 
 // EncodeCloudInit converts an owner's CloudState into its wire form.
@@ -147,6 +153,7 @@ type CloudServer struct {
 	jour    *journal // nil until EnableDurability
 	srv     *Server
 	reg     *obs.Registry // nil until SetObservability; forwarded to the hosted cloud
+	slo     *obs.Engine   // nil until AttachSLO
 	started time.Time
 }
 
@@ -185,6 +192,14 @@ func (cs *CloudServer) SetObservability(reg *obs.Registry, logger *slog.Logger) 
 	if cs.cloud != nil {
 		cs.cloud.SetMetrics(reg)
 	}
+	cs.mu.Unlock()
+}
+
+// AttachSLO publishes the server's SLO engine so cloud.stats (and through
+// it `slicer-cli status`) reports live objective states next to the sizes.
+func (cs *CloudServer) AttachSLO(e *obs.Engine) {
+	cs.mu.Lock()
+	cs.slo = e
 	cs.mu.Unlock()
 }
 
@@ -338,14 +353,24 @@ func (cs *CloudServer) handleStats(json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CloudStats{
+	st := &CloudStats{
 		IndexEntries:  cloud.IndexLen(),
 		IndexBytes:    cloud.IndexSizeBytes(),
 		Primes:        cloud.PrimeCount(),
 		ADSBytes:      cloud.ADSSizeBytes(),
 		SearchCalls:   cloud.SearchCalls(),
 		UptimeSeconds: time.Since(cs.started).Seconds(),
-	}, nil
+	}
+	cs.mu.RLock()
+	reg, slo := cs.reg, cs.slo
+	cs.mu.RUnlock()
+	if win, ok := reg.WindowSnapshotFor(RPCDurationSeries("cloud", MethodCloudSearch)); ok {
+		st.SearchWindow = &win
+	}
+	if slo != nil {
+		st.SLOs = slo.Evaluate()
+	}
+	return st, nil
 }
 
 // CloudClient is a typed client for a remote cloud.

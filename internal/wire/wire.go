@@ -15,6 +15,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,11 @@ type Request struct {
 	Method string            `json:"method"`
 	Params json.RawMessage   `json:"params,omitempty"`
 	Trace  *obs.TraceContext `json:"trace,omitempty"`
+	// Tenant optionally identifies the calling tenant/owner for per-tenant
+	// request accounting (slicer_rpc_tenant_requests_total). Absent on old
+	// clients; servers treat it as opaque, sanitized, cardinality-capped
+	// label material — never as an authorization claim.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Response is one framed RPC response. Trace carries the server-side span
@@ -62,40 +68,55 @@ type Response struct {
 
 // WriteMessage frames and writes one JSON message.
 func WriteMessage(w io.Writer, v any) error {
+	_, err := writeMessage(w, v)
+	return err
+}
+
+// writeMessage is WriteMessage reporting the framed size (header + body),
+// feeding the per-method payload-size histograms.
+func writeMessage(w io.Writer, v any) (int, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
+		return 0, fmt.Errorf("wire: marshal: %w", err)
 	}
 	if len(body) > MaxMessageSize {
-		return fmt.Errorf("wire: message of %d bytes exceeds limit", len(body))
+		return 0, fmt.Errorf("wire: message of %d bytes exceeds limit", len(body))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err = w.Write(body)
-	return err
+	if _, err := w.Write(body); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(body), nil
 }
 
 // ReadMessage reads one framed JSON message into v.
 func ReadMessage(r io.Reader, v any) error {
+	_, err := readMessage(r, v)
+	return err
+}
+
+// readMessage is ReadMessage reporting the framed size (header + body).
+func readMessage(r io.Reader, v any) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxMessageSize {
-		return fmt.Errorf("wire: message of %d bytes exceeds limit", n)
+		return 0, fmt.Errorf("wire: message of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return err
+		return 0, err
 	}
 	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("wire: unmarshal: %w", err)
+		return 0, fmt.Errorf("wire: unmarshal: %w", err)
 	}
-	return nil
+	return len(hdr) + int(n), nil
 }
 
 // Handler serves one method. Params arrive as raw JSON; the returned value
@@ -109,12 +130,18 @@ type Handler func(params json.RawMessage) (any, error)
 type TracedHandler func(params json.RawMessage, tr *obs.Trace) (any, error)
 
 // handlerEntry is one registered method with its per-method instruments
-// (nil until SetMetrics attaches a registry).
+// (nil until SetMetrics attaches a registry). ok/fail are the
+// outcome-labeled children of the requests vector; dur is a sliding-window
+// histogram, so the method exports live quantile gauges next to its
+// cumulative series.
 type handlerEntry struct {
-	fn    TracedHandler
-	calls *obs.Counter
-	errs  *obs.Counter
-	dur   *obs.Histogram
+	fn        TracedHandler
+	ok        *obs.Counter
+	fail      *obs.Counter
+	errs      *obs.Counter // legacy unsplit error series, kept for dashboards
+	dur       *obs.Histogram
+	reqBytes  *obs.Histogram
+	respBytes *obs.Histogram
 }
 
 // Server is a minimal RPC server multiplexing named handlers over TCP.
@@ -125,16 +152,22 @@ type Server struct {
 	wg       sync.WaitGroup
 	closed   bool
 
-	idleTimeout atomic.Int64 // nanoseconds; 0 disables the read deadline
-	logger      *slog.Logger
-	reg         *obs.Registry
-	subsystem   string
-	traces      *obs.TraceStore
-	connsOpen   *obs.Gauge
-	connsTotal  *obs.Counter
-	idleDropped *obs.Counter
-	traceBad    *obs.Counter
-	traceServed *obs.Counter
+	idleTimeout  atomic.Int64 // nanoseconds; 0 disables the read deadline
+	logger       *slog.Logger
+	reg          *obs.Registry
+	subsystem    string
+	labelCap     int // per-vector cardinality cap; 0 = obs.DefLabelCap
+	traces       *obs.TraceStore
+	connsOpen    *obs.Gauge
+	connsTotal   *obs.Counter
+	idleDropped  *obs.Counter
+	traceBad     *obs.Counter
+	traceServed  *obs.Counter
+	requests     *obs.CounterVec
+	durVec       *obs.HistogramVec
+	reqBytesVec  *obs.HistogramVec
+	respBytesVec *obs.HistogramVec
+	tenants      *obs.CounterVec
 }
 
 // NewServer creates an empty server with the default idle timeout and a
@@ -175,6 +208,23 @@ func (s *Server) SetIdleTimeout(d time.Duration) {
 // IdleTimeout reports the configured idle bound.
 func (s *Server) IdleTimeout() time.Duration { return time.Duration(s.idleTimeout.Load()) }
 
+// DefaultTenantLabelCap is the default bound on distinct tenant label
+// values a server materializes before further tenants collapse into the
+// "other" sentinel series.
+const DefaultTenantLabelCap = obs.DefLabelCap
+
+// SetLabelCap bounds the per-tenant (and other vector) label cardinality
+// this server materializes; n <= 0 restores obs.DefLabelCap. Call before
+// SetMetrics — the cap is baked into the vectors when they are created.
+func (s *Server) SetLabelCap(n int) {
+	s.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	s.labelCap = n
+	s.mu.Unlock()
+}
+
 // SetMetrics attaches an observability registry. subsystem labels every
 // series (e.g. "cloud", "chain") so one registry can host several servers.
 // Methods registered before or after both get per-method instruments.
@@ -193,6 +243,21 @@ func (s *Server) SetMetrics(reg *obs.Registry, subsystem string) {
 		"Requests whose trace context was malformed and therefore ignored.")
 	s.traceServed = reg.Counter(obs.Label("slicer_rpc_traces_total", "server", subsystem),
 		"Requests served with a propagated distributed trace.")
+	s.requests = reg.CounterVecOpts("slicer_rpc_requests_total",
+		"RPC requests served, by method and outcome.",
+		[]string{"server", "method", "outcome"}, obs.VecOpts{MaxCardinality: 256})
+	s.durVec = reg.HistogramVecOpts("slicer_rpc_request_seconds",
+		"RPC handler latency, by method.",
+		[]string{"server", "method"}, obs.VecOpts{Window: &obs.WindowOptions{}})
+	s.reqBytesVec = reg.HistogramVecOpts("slicer_rpc_request_bytes",
+		"Framed RPC request size in bytes (header + body), by method.",
+		[]string{"server", "method"}, obs.VecOpts{Buckets: obs.DefSizeBuckets})
+	s.respBytesVec = reg.HistogramVecOpts("slicer_rpc_response_bytes",
+		"Framed RPC response size in bytes (header + body), by method.",
+		[]string{"server", "method"}, obs.VecOpts{Buckets: obs.DefSizeBuckets})
+	s.tenants = reg.CounterVecOpts("slicer_rpc_tenant_requests_total",
+		"RPC requests by self-reported tenant; overflow collapses to other.",
+		[]string{"server", "tenant"}, obs.VecOpts{MaxCardinality: s.labelCap})
 	for method, e := range s.handlers {
 		s.instrument(method, e)
 	}
@@ -219,12 +284,13 @@ func (s *Server) instrument(method string, e *handlerEntry) {
 	if s.reg == nil {
 		return
 	}
-	e.calls = s.reg.Counter(obs.Label("slicer_rpc_requests_total", "server", s.subsystem, "method", method),
-		"RPC requests served, by method.")
+	e.ok = s.requests.WithLabelValues(s.subsystem, method, "ok")
+	e.fail = s.requests.WithLabelValues(s.subsystem, method, "error")
 	e.errs = s.reg.Counter(obs.Label("slicer_rpc_errors_total", "server", s.subsystem, "method", method),
 		"RPC requests that returned an error, by method.")
-	e.dur = s.reg.Histogram(obs.Label("slicer_rpc_request_seconds", "server", s.subsystem, "method", method),
-		"RPC handler latency, by method.")
+	e.dur = s.durVec.WithLabelValues(s.subsystem, method)
+	e.reqBytes = s.reqBytesVec.WithLabelValues(s.subsystem, method)
+	e.respBytes = s.respBytesVec.WithLabelValues(s.subsystem, method)
 }
 
 // Handle registers a method handler that does not record trace spans of its
@@ -292,7 +358,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		var req Request
-		if err := ReadMessage(r, &req); err != nil {
+		reqSize, err := readMessage(r, &req)
+		if err != nil {
 			var ne net.Error
 			switch {
 			case errors.As(err, &ne) && ne.Timeout():
@@ -308,23 +375,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.mu.Lock()
 		e, ok := s.handlers[req.Method]
+		tenants, subsystem := s.tenants, s.subsystem
 		s.mu.Unlock()
+		if req.Tenant != "" {
+			tenants.WithLabelValues(subsystem, req.Tenant).Inc()
+		}
 		var resp Response
 		if !ok {
 			resp.Error = fmt.Sprintf("unknown method %q", req.Method)
 		} else {
+			e.reqBytes.Observe(float64(reqSize))
 			tr := s.openTrace(&req)
-			e.calls.Inc()
 			t0 := e.dur.Start()
 			endHandle := tr.Span("handle:" + req.Method)
 			result, err := e.fn(req.Params, tr)
 			endHandle()
-			e.dur.ObserveSince(t0)
+			if !t0.IsZero() {
+				// Traced requests leave an exemplar on their latency bucket,
+				// linking a quantile estimate back to the stored trace.
+				if tr != nil {
+					e.dur.ObserveExemplar(time.Since(t0).Seconds(), tr.ID())
+				} else {
+					e.dur.ObserveSince(t0)
+				}
+			}
 			if err != nil {
+				e.fail.Inc()
 				e.errs.Inc()
 				s.log().Debug("rpc error", "method", req.Method, "peer", peer, "err", err)
 				resp.Error = err.Error()
 			} else {
+				e.ok.Inc()
 				body, err := json.Marshal(result)
 				if err != nil {
 					resp.Error = fmt.Sprintf("marshal result: %v", err)
@@ -338,8 +419,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.TraceStore().Record(tr)
 			}
 		}
-		if err := WriteMessage(w, &resp); err != nil {
+		respSize, err := writeMessage(w, &resp)
+		if err != nil {
 			return
+		}
+		if ok {
+			e.respBytes.Observe(float64(respSize))
 		}
 		if err := w.Flush(); err != nil {
 			return
@@ -408,6 +493,9 @@ type ClientOptions struct {
 	// Registry, when non-nil, counts client-side call timeouts
 	// (slicer_rpc_client_timeouts_total).
 	Registry *obs.Registry
+	// Tenant, when non-empty, stamps every request with a tenant/owner ID
+	// for the server's per-tenant accounting.
+	Tenant string
 }
 
 func (o ClientOptions) dialTimeout() time.Duration {
@@ -427,6 +515,7 @@ type Client struct {
 	r           *bufio.Reader
 	w           *bufio.Writer
 	callTimeout time.Duration
+	tenant      string
 	timeouts    *obs.Counter // nil-safe
 }
 
@@ -441,7 +530,7 @@ func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), tenant: opts.Tenant}
 	switch {
 	case opts.CallTimeout < 0:
 		c.callTimeout = 0
@@ -514,7 +603,7 @@ func (c *Client) roundTrip(method string, params any, tctx *obs.TraceContext) (*
 		}
 		defer c.conn.SetDeadline(time.Time{})
 	}
-	if err := WriteMessage(c.w, &Request{Method: method, Params: raw, Trace: tctx}); err != nil {
+	if err := WriteMessage(c.w, &Request{Method: method, Params: raw, Trace: tctx, Tenant: c.tenant}); err != nil {
 		return nil, c.wrapTimeout(method, err)
 	}
 	if err := c.w.Flush(); err != nil {
@@ -550,3 +639,27 @@ func decodeResult(resp *Response, out any) error {
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// RPCDurationSeries names the windowed per-method latency histogram a
+// server registers for (subsystem, method) — the series SLO objectives
+// evaluate against.
+func RPCDurationSeries(subsystem, method string) string {
+	return obs.VecName("slicer_rpc_request_seconds", "server", subsystem, "method", method)
+}
+
+// SLOAliases maps the short "rpc:<op>" objective-metric spellings the -slo
+// flag accepts onto the full per-method duration series, e.g.
+// "rpc:search" → slicer_rpc_request_seconds{method="cloud.search",server="cloud"}.
+// The op is the method name after its subsystem prefix ("cloud.search" →
+// "search"); the full method name works too ("rpc:cloud.search").
+func SLOAliases(subsystem string, methods ...string) map[string]string {
+	out := make(map[string]string, 2*len(methods))
+	for _, m := range methods {
+		series := RPCDurationSeries(subsystem, m)
+		out["rpc:"+m] = series
+		if i := strings.LastIndexByte(m, '.'); i >= 0 && i+1 < len(m) {
+			out["rpc:"+m[i+1:]] = series
+		}
+	}
+	return out
+}

@@ -159,7 +159,7 @@ func TestDistributedSearchMetrics(t *testing.T) {
 		`slicer_cloud_phase_seconds_count{phase="witness"}`,
 		`slicer_pipeline_seconds_count{phase="verify"}`,
 		`slicer_chain_phase_seconds_count{phase="seal"}`,
-		`slicer_rpc_requests_total{server="cloud",method="cloud.search"}`,
+		`slicer_rpc_requests_total{method="cloud.search",outcome="ok",server="cloud"}`,
 	} {
 		val, ok := seriesValue(exposition, series)
 		if !ok {

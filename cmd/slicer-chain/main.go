@@ -22,6 +22,7 @@ import (
 	"strings"
 	"syscall"
 
+	"slicer/internal/audit"
 	"slicer/internal/chain"
 	"slicer/internal/contract"
 	"slicer/internal/durable"
@@ -46,6 +47,7 @@ func run() error {
 		fsync      = flag.String("fsync", "always", "WAL durability: always, never, or a flush interval like 100ms")
 		snapEvery  = flag.Int("snapshot-every", 0, "fold the chain into a snapshot every N sealed blocks (0: default 256, <0: off)")
 		snapshot   = flag.String("snapshot", "", "deprecated: single-file persistence, replayed at boot and written at shutdown; prefer -data-dir")
+		auditDir   = flag.String("audit-dir", "", `tamper-evident audit ledger directory (default <data-dir>/audit when -data-dir is set; "none" disables)`)
 		admin      = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log format: text or json")
@@ -145,12 +147,45 @@ func run() error {
 	srv.Server().SetIdleTimeout(*idle)
 	srv.Traces().SetCapacity(*traceCap)
 	srv.Traces().SetSampling(*traceSmpl)
+
+	// Audit ledger: journals every sealed block with transactions as a
+	// tamper-evident KindSeal record, anchoring the settlement history.
+	ledgerDir := *auditDir
+	if ledgerDir == "" && *dataDir != "" {
+		ledgerDir = filepath.Join(*dataDir, "audit")
+	}
+	var led *audit.Ledger
+	if ledgerDir != "" && ledgerDir != "none" {
+		policy, interval, err := durable.ParsePolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		led, err = audit.Open(audit.Options{
+			Dir:           ledgerDir,
+			Fsync:         policy,
+			FsyncInterval: interval,
+			Registry:      reg,
+			Logger:        logger,
+		})
+		if err != nil {
+			return fmt.Errorf("audit ledger: %w", err)
+		}
+		defer led.Close()
+		srv.EnableAudit(led)
+		seq, hash := led.Head()
+		fmt.Printf("audit ledger %s: chain verified, head #%d %s\n", ledgerDir, seq, hash)
+	}
+
 	var engine *obs.Engine
 	if *sloSpec != "" {
-		objs, err := obs.ParseObjectives(*sloSpec, wire.SLOAliases("chain",
+		aliases := wire.SLOAliases("chain",
 			wire.MethodChainSubmit, wire.MethodChainStep, wire.MethodChainReceipt,
 			wire.MethodChainBalance, wire.MethodChainNonce, wire.MethodChainCall,
-			wire.MethodChainHeight))
+			wire.MethodChainHeight)
+		for k, v := range audit.SLOAliases() {
+			aliases[k] = v
+		}
+		objs, err := obs.ParseObjectives(*sloSpec, aliases)
 		if err != nil {
 			return fmt.Errorf("-slo: %w", err)
 		}
@@ -176,13 +211,17 @@ func run() error {
 		logger.Warn("continuous profiler disabled: -slo set without -data-dir, breaches will not capture profiles")
 	}
 	if *admin != "" {
-		adm, err := obs.StartAdminOpts(*admin, obs.AdminOptions{
+		opts := obs.AdminOptions{
 			Registry: reg,
 			Traces:   srv.Traces(),
 			Logger:   logger,
 			SLO:      engine,
 			Profiler: prof,
-		})
+		}
+		if led != nil {
+			opts.Audit = led.AdminHandler()
+		}
+		adm, err := obs.StartAdminOpts(*admin, opts)
 		if err != nil {
 			return fmt.Errorf("admin endpoint: %w", err)
 		}

@@ -16,7 +16,6 @@
 package main
 
 import (
-	"crypto/rand"
 	"flag"
 	"fmt"
 	"os"
@@ -56,7 +55,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: slicer-cli <init|insert|search|status> [flags]")
+		return fmt.Errorf("usage: slicer-cli <init|insert|search|status|probe|audit> [flags]")
 	}
 	switch args[0] {
 	case "init":
@@ -67,19 +66,24 @@ func run(args []string) error {
 		return cmdSearch(args[1:])
 	case "status":
 		return cmdStatus(args[1:])
+	case "probe":
+		return cmdProbe(args[1:])
+	case "audit":
+		return cmdAudit(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want init, insert, search or status)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want init, insert, search, status, probe or audit)", args[0])
 	}
 }
 
-func commonFlags(fs *flag.FlagSet) (statePath, cloudAddr, chainAddr *string, opts func() wire.ClientOptions) {
+func commonFlags(fs *flag.FlagSet) (statePath, cloudAddr, chainAddr, tenant *string, opts func() wire.ClientOptions) {
 	statePath = fs.String("state", "slicer-state.json", "path of the persisted deployment state")
 	cloudAddr = fs.String("cloud", "127.0.0.1:7401", "cloud server address")
 	chainAddr = fs.String("chain", "127.0.0.1:7402", "chain server address")
+	tenant = fs.String("tenant", "", "tenant tag stamped on every RPC (servers label metrics and audit records with it)")
 	dialTO := fs.Duration("dial-timeout", wire.DefaultDialTimeout, "timeout for connecting to a server")
 	callTO := fs.Duration("call-timeout", wire.DefaultCallTimeout, "per-RPC deadline; 0 or negative disables")
 	opts = func() wire.ClientOptions {
-		o := wire.ClientOptions{DialTimeout: *dialTO, CallTimeout: *callTO}
+		o := wire.ClientOptions{DialTimeout: *dialTO, CallTimeout: *callTO, Tenant: *tenant}
 		if *callTO <= 0 {
 			o.CallTimeout = -1
 		}
@@ -147,7 +151,7 @@ func parseRecords(random int, bits int, values string, firstSeed int64) ([]core.
 
 func cmdInit(args []string) error {
 	fs := flag.NewFlagSet("init", flag.ContinueOnError)
-	statePath, cloudAddr, chainAddr, dialOpts := commonFlags(fs)
+	statePath, cloudAddr, chainAddr, _, dialOpts := commonFlags(fs)
 	bits := fs.Int("bits", 16, "value bit width")
 	random := fs.Int("random", 0, "generate N random records")
 	values := fs.String("values", "", "explicit records: id=value,id=value,...")
@@ -231,7 +235,7 @@ func cmdInit(args []string) error {
 
 func cmdInsert(args []string) error {
 	fs := flag.NewFlagSet("insert", flag.ContinueOnError)
-	statePath, _, _, dialOpts := commonFlags(fs)
+	statePath, _, _, _, dialOpts := commonFlags(fs)
 	random := fs.Int("random", 0, "generate N random records")
 	values := fs.String("values", "", "explicit records: id=value,...")
 	mkLogger := logFlags(fs)
@@ -300,13 +304,14 @@ func cmdInsert(args []string) error {
 
 func cmdSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ContinueOnError)
-	statePath, _, _, dialOpts := commonFlags(fs)
+	statePath, _, _, tenant, dialOpts := commonFlags(fs)
 	opFlag := fs.String("op", "=", "operator: '=', '<' or '>'")
 	value := fs.Uint64("value", 0, "query value")
 	rangeFlag := fs.String("range", "", "inclusive range 'lo:hi' (needs init -prefix-index); overrides -op/-value")
 	attr := fs.String("attr", "", "attribute name (empty for single-attribute data)")
 	pay := fs.Uint64("pay", 1000, "search fee to escrow")
 	trace := fs.Bool("trace", false, "print the merged cross-machine trace of the search after the results")
+	auditDir := fs.String("audit-dir", "", "optional client-side audit ledger; journals search/settle/refund with evidence")
 	mkLogger := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -383,86 +388,42 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	defer chainCli.Close()
-	th, err := contract.TokensHash(req.Tokens)
-	if err != nil {
-		return err
-	}
-	var reqID chain.Hash
-	if _, err := rand.Read(reqID[:]); err != nil {
-		return err
-	}
-	nonce, err := chainCli.Nonce(st.UserAcct)
-	if err != nil {
-		return err
-	}
-	endEscrow := tr.Span("escrow")
-	rc, err := chainCli.MineTraced(&chain.Transaction{
-		From: st.UserAcct, To: st.ContractAddr, Nonce: nonce, Value: *pay,
-		GasLimit: 1_000_000, Data: contract.RequestData(reqID, st.CloudAcct, th),
-	}, tr)
-	if err != nil {
-		return err
-	}
-	if !rc.Status {
-		return fmt.Errorf("escrow request reverted: %s", rc.Err)
-	}
-	endEscrow()
-	logger.Debug("payment escrowed", "fee", *pay, "gas", rc.GasUsed)
-	fmt.Printf("escrowed %d on chain (request %x...)\n", *pay, reqID[:6])
-
 	cloud, err := wire.DialCloudOpts(st.CloudAddr, dialOpts())
 	if err != nil {
 		return err
 	}
 	defer cloud.Close()
-	endSearch := tr.Span("cloud_search")
-	resp, err := cloud.SearchTraced(req, tr)
+	led, err := openClientLedger(*auditDir, *tenant, logger)
 	if err != nil {
-		return fmt.Errorf("cloud search: %w", err)
+		return err
 	}
-	endSearch()
-	logger.Debug("cloud answered", "tokens", len(resp.Results))
+	defer led.Close()
 
-	submit, err := contract.SubmitData(reqID, owner.AccumulatorPub().Marshal(), owner.Ac(), resp.Results)
+	env := &fairExchangeEnv{
+		st: st, owner: owner, user: user,
+		cloud: cloud, chain: chainCli,
+		logger: logger, led: led, tenant: *tenant,
+	}
+	res, err := env.run(req, *pay, tr)
 	if err != nil {
 		return err
 	}
-	nonce, err = chainCli.Nonce(st.CloudAcct)
-	if err != nil {
-		return err
-	}
-	endSettle := tr.Span("settle")
-	rc, err = chainCli.MineTraced(&chain.Transaction{
-		From: st.CloudAcct, To: st.ContractAddr, Nonce: nonce,
-		GasLimit: 50_000_000, Data: submit,
-	}, tr)
-	if err != nil {
-		return err
-	}
-	if !rc.Status {
-		return fmt.Errorf("result submission reverted: %s", rc.Err)
-	}
-	endSettle()
-	logger.Debug("results submitted", "gas", rc.GasUsed)
-	if len(rc.ReturnData) != 1 || rc.ReturnData[0] != 1 {
+	fmt.Printf("escrowed %d on chain (request %x...)\n", *pay, res.ReqID[:6])
+	if !res.Settled {
 		fmt.Println("on-chain verification FAILED; payment refunded")
+		if res.VerifyErr != nil {
+			fmt.Println("local verification:", res.VerifyErr)
+		}
 		return nil
 	}
-	fmt.Printf("on-chain verification passed (gas %d); payment settled to the cloud\n", rc.GasUsed)
-
-	endDecrypt := tr.Span("decrypt")
-	ids, err := user.Decrypt(resp)
-	if err != nil {
-		return err
-	}
-	endDecrypt()
-	fmt.Println("matching record IDs:", ids)
+	fmt.Printf("on-chain verification passed (gas %d); payment settled to the cloud\n", res.SubmitGas)
+	fmt.Println("matching record IDs:", res.IDs)
 	return nil
 }
 
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ContinueOnError)
-	statePath, _, _, dialOpts := commonFlags(fs)
+	statePath, _, _, _, dialOpts := commonFlags(fs)
 	mkLogger := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

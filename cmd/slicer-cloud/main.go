@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"syscall"
 
+	"slicer/internal/audit"
 	"slicer/internal/durable"
 	"slicer/internal/obs"
 	"slicer/internal/wire"
@@ -39,6 +40,7 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "durable data directory: WAL + snapshots, crash-safe recovery at boot")
 	fsync := flag.String("fsync", "always", "WAL durability: always, never, or a flush interval like 100ms")
 	snapEvery := flag.Int("snapshot-every", 0, "fold state into a snapshot every N journaled records (0: default 256, <0: off)")
+	auditDir := flag.String("audit-dir", "", `tamper-evident audit ledger directory (default <data-dir>/audit when -data-dir is set; "none" disables)`)
 	state := flag.String("state", "", "deprecated: single-file persistence, restored at boot and written at shutdown; prefer -data-dir")
 	admin := flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -65,10 +67,44 @@ func run() error {
 	srv.Traces().SetCapacity(*traceCap)
 	srv.Traces().SetSampling(*traceSample)
 
+	// The audit ledger opens before the SLO engine and admin endpoint so the
+	// integrity series, the /debug/audit handler and the server hooks all see
+	// the same ledger. It defaults on next to -data-dir: a server durable
+	// enough to recover state is durable enough to account for it.
+	ledgerDir := *auditDir
+	if ledgerDir == "" && *dataDir != "" {
+		ledgerDir = filepath.Join(*dataDir, "audit")
+	}
+	var led *audit.Ledger
+	if ledgerDir != "" && ledgerDir != "none" {
+		policy, interval, err := durable.ParsePolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		led, err = audit.Open(audit.Options{
+			Dir:           ledgerDir,
+			Fsync:         policy,
+			FsyncInterval: interval,
+			Registry:      reg,
+			Logger:        logger,
+		})
+		if err != nil {
+			return fmt.Errorf("audit ledger: %w", err)
+		}
+		defer led.Close()
+		srv.EnableAudit(led)
+		seq, hash := led.Head()
+		fmt.Printf("audit ledger %s: chain verified, head #%d %s\n", ledgerDir, seq, hash)
+	}
+
 	var engine *obs.Engine
 	if *sloSpec != "" {
-		objs, err := obs.ParseObjectives(*sloSpec, wire.SLOAliases("cloud",
-			wire.MethodCloudInit, wire.MethodCloudUpdate, wire.MethodCloudSearch, wire.MethodCloudStats))
+		aliases := wire.SLOAliases("cloud",
+			wire.MethodCloudInit, wire.MethodCloudUpdate, wire.MethodCloudSearch, wire.MethodCloudStats)
+		for k, v := range audit.SLOAliases() {
+			aliases[k] = v
+		}
+		objs, err := obs.ParseObjectives(*sloSpec, aliases)
 		if err != nil {
 			return fmt.Errorf("-slo: %w", err)
 		}
@@ -96,13 +132,17 @@ func run() error {
 	}
 
 	if *admin != "" {
-		adm, err := obs.StartAdminOpts(*admin, obs.AdminOptions{
+		opts := obs.AdminOptions{
 			Registry: reg,
 			Traces:   srv.Traces(),
 			Logger:   logger,
 			SLO:      engine,
 			Profiler: prof,
-		})
+		}
+		if led != nil {
+			opts.Audit = led.AdminHandler()
+		}
+		adm, err := obs.StartAdminOpts(*admin, opts)
 		if err != nil {
 			return fmt.Errorf("admin endpoint: %w", err)
 		}

@@ -2,8 +2,11 @@ package slicer
 
 import (
 	"crypto/rand"
+	"encoding/json"
+	"errors"
 	"fmt"
 
+	"slicer/internal/audit"
 	"slicer/internal/chain"
 	"slicer/internal/contract"
 	"slicer/internal/core"
@@ -68,6 +71,12 @@ type Deployment struct {
 	tamper func(*SearchResponse)
 
 	met deployMetrics
+
+	// aud, when set, journals every fair-exchange event; on a refund the
+	// full evidence bundle (tokens, raw response, accumulation value,
+	// receipt) is captured atomically with the record.
+	aud       *audit.Ledger
+	audTenant string
 }
 
 // deployMetrics are the fair-exchange instruments. The zero value is the
@@ -107,6 +116,19 @@ func (d *Deployment) SetObservability(reg *obs.Registry) {
 		decrypt:  reg.Histogram(obs.Label("slicer_fairexchange_seconds", "phase", "decrypt"), phaseHelp),
 	}
 }
+
+// AttachAudit journals the deployment's fair-exchange events — searches
+// issued, settlements, refunds with evidence, index updates — into led,
+// stamped with tenant. A nil ledger detaches. Auditing never changes any
+// protocol output: appends on the search path are best-effort, but a refund's
+// evidence bundle is forced durable before the outcome returns.
+func (d *Deployment) AttachAudit(led *audit.Ledger, tenant string) {
+	d.aud = led
+	d.audTenant = tenant
+}
+
+// Audit returns the attached audit ledger (nil when auditing is off).
+func (d *Deployment) Audit() *audit.Ledger { return d.aud }
 
 // NewDeployment builds the database, boots the blockchain network and
 // deploys the contract.
@@ -245,6 +267,12 @@ func (d *Deployment) Insert(records []Record) (*Receipt, error) {
 		return nil, fmt.Errorf("slicer: SetAc reverted: %s", r.Err)
 	}
 	d.lastAcTx = tx.Hash()
+	txh := tx.Hash()
+	d.aud.Log(audit.Event{
+		Kind:   audit.KindUpdate,
+		Tenant: d.audTenant,
+		Detail: fmt.Sprintf("+%d records, SetAc tx %x… gas %d", len(records), txh[:8], r.GasUsed),
+	})
 	return r, nil
 }
 
@@ -391,6 +419,11 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64, tr *obs
 		return nil, fmt.Errorf("slicer: search request reverted: %s", r.Err)
 	}
 	endEscrow()
+	d.aud.Log(audit.Event{
+		Kind:   audit.KindSearch,
+		Tenant: d.audTenant,
+		Detail: fmt.Sprintf("request %x…, %d tokens, %d escrowed", reqID[:8], len(req.Tokens), payment),
+	})
 
 	endSearch := obs.StartPhase(d.met.search, tr, "cloud_search")
 	resp, err := d.cloud.SearchTraced(req, tr)
@@ -406,13 +439,15 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64, tr *obs
 		return nil, err
 	}
 	endSettle := obs.StartPhase(d.met.settle, tr, "settle")
-	r, err = d.mineTraced(&chain.Transaction{
+	subTx := &chain.Transaction{
 		From:     d.CloudAddr,
 		To:       d.contractAddr,
 		Nonce:    d.nonce(d.CloudAddr),
 		GasLimit: 50_000_000,
 		Data:     data,
-	}, tr)
+	}
+	subTxHash := subTx.Hash()
+	r, err = d.mineTraced(subTx, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -426,6 +461,11 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64, tr *obs
 	if len(r.ReturnData) == 1 && r.ReturnData[0] == 1 {
 		d.met.settled.Inc()
 		outcome.Settled = true
+		d.aud.Log(audit.Event{
+			Kind:   audit.KindSettle,
+			Tenant: d.audTenant,
+			Detail: fmt.Sprintf("request %x… settled, gas %d", reqID[:8], r.GasUsed),
+		})
 		endDecrypt := obs.StartPhase(d.met.decrypt, tr, "decrypt")
 		ids, err := d.user.Decrypt(resp)
 		if err != nil {
@@ -435,6 +475,78 @@ func (d *Deployment) verifiedRequest(req *SearchRequest, payment uint64, tr *obs
 		outcome.IDs = ids
 	} else {
 		d.met.refunded.Inc()
+		d.auditRefund(reqID, subTxHash, req, resp, r)
 	}
 	return outcome, nil
+}
+
+// auditRefund journals a refund with its full evidence bundle: the tokens
+// the contract judged against, the raw response exactly as submitted, the
+// accumulation value and public parameters (so the proof check is replayable
+// from the bundle alone) and the chain receipt. The public verification is
+// re-run locally to attribute the failure to a phase and token index —
+// linking the structured core.VerificationError to the forensic record. The
+// ledger forces evidence durable before Append returns.
+func (d *Deployment) auditRefund(reqID TxHash, txHash TxHash, req *SearchRequest, resp *SearchResponse, r *Receipt) {
+	if d.aud == nil {
+		return
+	}
+	ev := &audit.Evidence{
+		Ac:         d.owner.Ac().Bytes(),
+		AccPub:     d.owner.AccumulatorPub().Marshal(),
+		TokenIndex: -1,
+		RequestID:  reqID[:],
+		TxHash:     txHash[:],
+		GasUsed:    r.GasUsed,
+		ReturnData: r.ReturnData,
+	}
+	if b, err := json.Marshal(req); err == nil {
+		ev.Tokens = b
+	}
+	if b, err := json.Marshal(resp); err == nil {
+		ev.Response = b
+	}
+	detail := fmt.Sprintf("request %x… refunded", reqID[:8])
+	if err := core.VerifyResponse(d.owner.AccumulatorPub(), d.owner.Ac(), req, resp); err != nil {
+		if ve, ok := core.AsVerificationError(err); ok {
+			ev.Phase = ve.Phase
+			ev.TokenIndex = ve.TokenIndex
+		}
+		detail += ": " + err.Error()
+	}
+	d.aud.Log(audit.Event{
+		Kind:     audit.KindRefund,
+		Outcome:  audit.OutcomeFail,
+		Tenant:   d.audTenant,
+		Detail:   detail,
+		Evidence: ev,
+	})
+}
+
+// ProbeFunc returns an audit.ProbeFunc running one synthetic fair-exchange
+// search for q — the continuous-verification canary. A refund is a probe
+// failure (the refund's evidence bundle is journaled by the search itself,
+// so the probe record carries only the verdict).
+func (d *Deployment) ProbeFunc(q Query, payment uint64) audit.ProbeFunc {
+	return func() (string, *audit.Evidence, error) {
+		out, err := d.VerifiedSearch(q, payment)
+		if err != nil {
+			return "", nil, err
+		}
+		detail := fmt.Sprintf("%d ids, gas %d", len(out.IDs), out.GasUsed)
+		if !out.Settled {
+			return detail, nil, errors.New("on-chain verification failed: payment refunded")
+		}
+		return detail, nil, nil
+	}
+}
+
+// RunProber starts a background prober issuing the synthetic search q every
+// opts.Interval, journaling each outcome into the attached audit ledger.
+// The returned stop function halts it.
+func (d *Deployment) RunProber(q Query, payment uint64, opts audit.ProberOptions) (stop func()) {
+	if opts.Tenant == "" {
+		opts.Tenant = d.audTenant
+	}
+	return audit.NewProber(d.aud, d.ProbeFunc(q, payment), opts).Run()
 }

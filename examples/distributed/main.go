@@ -32,6 +32,7 @@ func main() {
 
 func run() error {
 	admin := flag.String("admin", "", "optional admin HTTP address serving /metrics for both servers")
+	tenant := flag.String("tenant", "acme", "tenant tag stamped on every RPC; servers label per-tenant metrics and audit records with it")
 	flag.Parse()
 
 	// Both servers and the client pipeline share one registry, so a single
@@ -126,7 +127,7 @@ func run() error {
 		return err
 	}
 
-	cloudCli, err := wire.DialCloud(cloudAddr)
+	cloudCli, err := wire.DialCloudOpts(cloudAddr, wire.ClientOptions{Tenant: *tenant})
 	if err != nil {
 		return err
 	}
@@ -141,7 +142,7 @@ func run() error {
 	fmt.Printf("owner shipped index (%d entries, %d bytes) and ADS (%d primes) to the cloud\n",
 		stats.IndexEntries, stats.IndexBytes, stats.Primes)
 
-	chainCli, err := wire.DialChain(chainAddr)
+	chainCli, err := wire.DialChainOpts(chainAddr, wire.ClientOptions{Tenant: *tenant})
 	if err != nil {
 		return err
 	}

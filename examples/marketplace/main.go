@@ -8,10 +8,13 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"slicer"
+	"slicer/internal/audit"
+	"slicer/internal/durable"
 )
 
 func main() {
@@ -21,6 +24,10 @@ func main() {
 }
 
 func run() error {
+	tenant := flag.String("tenant", "marketplace", "tenant tag stamped on every audit record")
+	auditDir := flag.String("audit-dir", "", "optional tamper-evident audit ledger directory; round 2's refund lands there with the full evidence bundle")
+	flag.Parse()
+
 	// Transaction values of a business database (16-bit cents).
 	db := []slicer.Record{
 		slicer.NewRecord(1, 1999),
@@ -38,6 +45,17 @@ func run() error {
 		return fmt.Errorf("deployment: %w", err)
 	}
 	fmt.Printf("contract at %s (deployment gas %d)\n\n", d.ContractAddress(), d.DeployGas())
+
+	var led *audit.Ledger
+	if *auditDir != "" {
+		led, err = audit.Open(audit.Options{Dir: *auditDir, Fsync: durable.FsyncAlways})
+		if err != nil {
+			return fmt.Errorf("audit ledger: %w", err)
+		}
+		defer led.Close()
+		d.AttachAudit(led, *tenant)
+		fmt.Printf("audit ledger at %s (tenant %q)\n", *auditDir, *tenant)
+	}
 
 	const fee = 5_000
 	balances := func(when string) {
@@ -98,5 +116,13 @@ func run() error {
 	balances("final balances:")
 
 	fmt.Printf("\nchain height: %d blocks across 3 validators\n", d.BlockHeight())
+	if led != nil {
+		if err := led.Sync(); err != nil {
+			return fmt.Errorf("audit sync: %w", err)
+		}
+		seq, hash := led.Head()
+		fmt.Printf("audit ledger head #%d %s — re-check offline with: slicer-cli audit verify -audit-dir %s\n",
+			seq, hash, *auditDir)
+	}
 	return nil
 }

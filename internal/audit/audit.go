@@ -1,0 +1,176 @@
+// Package audit implements a tamper-evident, append-only audit ledger for
+// every security-relevant event in a Slicer deployment: searches issued,
+// public verification outcomes, updates applied, settle/refund receipts and
+// prober results. Records form a SHA-256 hash chain (each record commits to
+// its predecessor's hash) persisted through the internal/durable WAL, whose
+// CRC-32C framing detects bit rot while the hash chain detects deliberate
+// rewriting: altering any acknowledged record breaks every hash after it.
+//
+// On any verification failure the caller attaches an Evidence bundle — the
+// query tokens, the raw response bytes exactly as received, the accumulation
+// value they were judged against and the chain receipt that refunded the
+// fee — journaled atomically with the failure record, so the incident is
+// attributable long after the in-memory state is gone.
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Record kinds — what class of security-relevant event happened.
+const (
+	// KindInit: an owner initialized a cloud with a fresh encrypted index.
+	KindInit = "init"
+	// KindUpdate: an index/ADS delta was applied (owner insert).
+	KindUpdate = "update"
+	// KindSearch: a search was issued or served.
+	KindSearch = "search"
+	// KindVerify: a public verification of a search response ran.
+	KindVerify = "verify"
+	// KindSettle: an escrowed search fee settled to the cloud on chain.
+	KindSettle = "settle"
+	// KindRefund: on-chain verification failed and the fee was refunded.
+	KindRefund = "refund"
+	// KindProbe: a synthetic verified search from the continuous prober.
+	KindProbe = "probe"
+	// KindSeal: a chain server sealed a block.
+	KindSeal = "seal"
+)
+
+// Record outcomes.
+const (
+	OutcomeOK   = "ok"
+	OutcomeFail = "fail"
+)
+
+// Digest is a SHA-256 hash rendered as lowercase hex in JSON.
+type Digest [sha256.Size]byte
+
+// String returns the lowercase hex form.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// IsZero reports whether the digest is the genesis (all-zero) value.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// MarshalJSON renders the digest as a hex string.
+func (d Digest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON parses a hex string of exactly 32 bytes.
+func (d *Digest) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("audit: digest: %w", err)
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("audit: digest: %w", err)
+	}
+	if len(raw) != sha256.Size {
+		return fmt.Errorf("audit: digest is %d bytes, want %d", len(raw), sha256.Size)
+	}
+	copy(d[:], raw)
+	return nil
+}
+
+// Evidence is the forensic bundle journaled with a verification failure:
+// everything needed to re-run the public verification and attribute the
+// refund after the fact. All fields are optional — callers fill what the
+// failure site has in hand.
+type Evidence struct {
+	// Tokens is the search request (tokens included) as JSON.
+	Tokens json.RawMessage `json:"tokens,omitempty"`
+	// Response is the raw response — results and verification objects —
+	// exactly as received from the cloud, before any repair or retry.
+	Response json.RawMessage `json:"response,omitempty"`
+	// Ac is the accumulation value the response was verified against.
+	Ac []byte `json:"ac,omitempty"`
+	// AccPub is the accumulator's public parameters (marshaled), so the
+	// proof check is replayable from the bundle alone.
+	AccPub []byte `json:"accPub,omitempty"`
+	// TokenIndex is the offending result (-1: response-level failure). Not
+	// omitempty: index 0 is a real token and must round-trip.
+	TokenIndex int `json:"tokenIndex"`
+	// Phase names the verification phase that rejected the response
+	// (core.PhaseCompleteness / PhaseOrder / PhaseMembership).
+	Phase string `json:"phase,omitempty"`
+	// RequestID is the fair-exchange escrow request this search settled
+	// under (the contract's request key).
+	RequestID []byte `json:"requestId,omitempty"`
+	// TxHash is the on-chain settle/refund transaction hash.
+	TxHash []byte `json:"txHash,omitempty"`
+	// GasUsed is the gas the verification transaction consumed.
+	GasUsed uint64 `json:"gasUsed,omitempty"`
+	// ReturnData is the contract's verdict bytes (1 = settled, 0 = refund).
+	ReturnData []byte `json:"returnData,omitempty"`
+}
+
+// Record is one audit ledger entry. Seq equals the record's WAL index
+// (1-based, dense), Prev is the previous record's Hash (zero for the first
+// record), and Hash is the SHA-256 of the record's canonical encoding with
+// the Hash field zeroed — so each record commits to its full content and,
+// through Prev, to the entire history before it.
+type Record struct {
+	Seq      uint64    `json:"seq"`
+	Time     int64     `json:"timeUnixNano"`
+	Kind     string    `json:"kind"`
+	Outcome  string    `json:"outcome"`
+	Tenant   string    `json:"tenant,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+	Evidence *Evidence `json:"evidence,omitempty"`
+	Prev     Digest    `json:"prev"`
+	Hash     Digest    `json:"hash"`
+}
+
+// computeHash returns the hash-chain value for r: SHA-256 over the record's
+// canonical JSON encoding with Hash zeroed. The encoding is deterministic —
+// fixed struct field order, no maps — so re-encoding a decoded record
+// reproduces the bytes that were hashed.
+func (r *Record) computeHash() (Digest, error) {
+	shadow := *r
+	shadow.Hash = Digest{}
+	enc, err := json.Marshal(&shadow)
+	if err != nil {
+		return Digest{}, fmt.Errorf("audit: encode record %d: %w", r.Seq, err)
+	}
+	return sha256.Sum256(enc), nil
+}
+
+// seal fills r.Hash from the rest of the record.
+func (r *Record) seal() error {
+	h, err := r.computeHash()
+	if err != nil {
+		return err
+	}
+	r.Hash = h
+	return nil
+}
+
+// Check recomputes the record's hash and verifies both the hash and the
+// link to the expected predecessor hash.
+func (r *Record) Check(prev Digest) error {
+	if r.Prev != prev {
+		return fmt.Errorf("audit: record %d prev hash %s does not link to %s", r.Seq, r.Prev, prev)
+	}
+	h, err := r.computeHash()
+	if err != nil {
+		return err
+	}
+	if h != r.Hash {
+		return fmt.Errorf("audit: record %d hash mismatch: stored %s, computed %s", r.Seq, r.Hash, h)
+	}
+	return nil
+}
+
+// decodeRecord parses one WAL payload into a Record.
+func decodeRecord(payload []byte) (*Record, error) {
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return nil, fmt.Errorf("audit: decode record: %w", err)
+	}
+	return &r, nil
+}

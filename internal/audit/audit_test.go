@@ -1,0 +1,402 @@
+package audit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slicer/internal/durable"
+	"slicer/internal/obs"
+)
+
+// testClock hands out strictly increasing deterministic timestamps.
+func testClock() func() time.Time {
+	t := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func openTestLedger(t *testing.T, fsys durable.FS, reg *obs.Registry) *Ledger {
+	t.Helper()
+	l, err := Open(Options{FS: fsys, Dir: "led", Fsync: durable.FsyncAlways, Registry: reg, Now: testClock()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func TestLedgerChainAppendAndVerify(t *testing.T) {
+	fsys := durable.NewMemFS()
+	l := openTestLedger(t, fsys, obs.NewRegistry())
+	events := []Event{
+		{Kind: KindInit, Detail: "1000 records"},
+		{Kind: KindSearch, Tenant: "acme", Detail: "3 tokens"},
+		{Kind: KindVerify, Outcome: OutcomeOK, Tenant: "acme"},
+		{Kind: KindSettle, Outcome: OutcomeOK, Detail: "gas 12345"},
+		{Kind: KindRefund, Outcome: OutcomeFail, Evidence: &Evidence{
+			Phase: "membership", TokenIndex: 1, GasUsed: 99, Response: json.RawMessage(`{"x":1}`),
+		}},
+	}
+	var prev Digest
+	for i, ev := range events {
+		rec, err := l.Append(ev)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq = %d", i, rec.Seq)
+		}
+		if rec.Prev != prev {
+			t.Errorf("record %d: prev hash does not link", i)
+		}
+		if err := rec.Check(prev); err != nil {
+			t.Errorf("record %d: %v", i, err)
+		}
+		prev = rec.Hash
+	}
+	if head, hash := l.Head(); head != 5 || hash != prev {
+		t.Errorf("Head() = %d/%s, want 5/%s", head, hash, prev)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	records, res, err := ReadDir(fsys, "led")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if res.Records != 5 || res.HeadSeq != 5 || res.HeadHash != prev {
+		t.Errorf("verify result = %+v", res)
+	}
+	if res.Failures != 1 || res.Evidence != 1 {
+		t.Errorf("failures/evidence = %d/%d, want 1/1", res.Failures, res.Evidence)
+	}
+	ev := records[4].Evidence
+	if ev == nil || ev.Phase != "membership" || ev.TokenIndex != 1 || string(ev.Response) != `{"x":1}` {
+		t.Errorf("evidence did not round-trip: %+v", ev)
+	}
+	// Tenant tag survives the chain.
+	if records[1].Tenant != "acme" {
+		t.Errorf("tenant = %q", records[1].Tenant)
+	}
+}
+
+func TestLedgerReopenResumesChain(t *testing.T) {
+	fsys := durable.NewMemFS()
+	l := openTestLedger(t, fsys, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(Event{Kind: KindSearch, Detail: fmt.Sprintf("q%d", i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	_, head := l.Head()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openTestLedger(t, fsys, nil)
+	rec, err := l2.Append(Event{Kind: KindProbe, Outcome: OutcomeOK})
+	if err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if rec.Seq != 4 || rec.Prev != head {
+		t.Errorf("reopened chain: seq %d prev %s, want 4 linking %s", rec.Seq, rec.Prev, head)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := ReadDir(fsys, "led"); err != nil {
+		t.Fatalf("ReadDir after reopen: %v", err)
+	}
+}
+
+// TestLedgerTamperDetected rewrites an acknowledged record on disk and
+// requires both the offline verify and the next Open to refuse the chain.
+func TestLedgerTamperDetected(t *testing.T) {
+	fsys := durable.NewMemFS()
+	l := openTestLedger(t, fsys, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(Event{Kind: KindSearch, Detail: fmt.Sprintf("q%d", i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Rewrite the middle record's payload in place, fixing the CRC framing
+	// so only the hash chain can notice. Easiest in-place mutation with a
+	// valid frame: re-frame the whole segment with one record's detail
+	// altered.
+	entries, err := fsys.ReadDir("led")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var seg string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
+			seg = "led/" + e.Name()
+		}
+	}
+	if seg == "" {
+		t.Fatal("no WAL segment found")
+	}
+	data, err := durable.ReadFile(fsys, seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	var frames [][]byte
+	rest := data
+	for len(rest) > 0 {
+		var payload []byte
+		payload, rest, err = durable.DecodeRecord(rest)
+		if err != nil {
+			t.Fatalf("decode frame: %v", err)
+		}
+		frames = append(frames, payload)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3", len(frames))
+	}
+	tampered := []byte(strings.Replace(string(frames[1]), "q1", "qX", 1))
+	var out []byte
+	for i, f := range frames {
+		if i == 1 {
+			f = tampered
+		}
+		out = durable.AppendRecord(out, f)
+	}
+	f, err := fsys.OpenFile(seg, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("rewrite segment: %v", err)
+	}
+	if _, err := f.Write(out); err != nil {
+		t.Fatalf("write tampered segment: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync tampered segment: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close tampered segment: %v", err)
+	}
+
+	if _, _, err := ReadDir(fsys, "led"); err == nil {
+		t.Error("ReadDir accepted a tampered record")
+	} else if !strings.Contains(err.Error(), "hash mismatch") {
+		t.Errorf("tamper error = %v, want hash mismatch", err)
+	}
+	if _, err := Open(Options{FS: fsys, Dir: "led", Now: testClock()}); err == nil {
+		t.Error("Open accepted a tampered ledger")
+	}
+}
+
+// TestLedgerCrashTruncatesUnsyncedTail loses power after unsynced appends:
+// recovery truncates the torn tail and the chain still verifies, resuming
+// from the last durable record.
+func TestLedgerCrashTruncatesUnsyncedTail(t *testing.T) {
+	fsys := durable.NewMemFS()
+	l, err := Open(Options{FS: fsys, Dir: "led", Fsync: durable.FsyncNever, Now: testClock()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(Event{Kind: KindSearch, Detail: "durable"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if _, err := l.Append(Event{Kind: KindSearch, Detail: "volatile"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	fsys.Crash() // no Close: the process died
+
+	l2, err := Open(Options{FS: fsys, Dir: "led", Now: testClock()})
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	head, _ := l2.Head()
+	if head != 1 {
+		t.Fatalf("head after crash = %d, want 1 (unsynced tail gone)", head)
+	}
+	rec, err := l2.Append(Event{Kind: KindProbe})
+	if err != nil {
+		t.Fatalf("Append after crash: %v", err)
+	}
+	if rec.Seq != 2 {
+		t.Errorf("post-crash seq = %d, want 2", rec.Seq)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, res, err := ReadDir(fsys, "led"); err != nil || res.Records != 2 {
+		t.Fatalf("ReadDir after crash: %v (records %d)", err, res.Records)
+	}
+}
+
+// TestLedgerEvidenceSurvivesCrash: evidence bundles are synced at append
+// even under FsyncNever, so a kill -9 right after cannot lose them.
+func TestLedgerEvidenceSurvivesCrash(t *testing.T) {
+	fsys := durable.NewMemFS()
+	l, err := Open(Options{FS: fsys, Dir: "led", Fsync: durable.FsyncNever, Now: testClock()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(Event{Kind: KindRefund, Outcome: OutcomeFail,
+		Evidence: &Evidence{Phase: "membership", Response: json.RawMessage(`{"tampered":true}`)}}); err != nil {
+		t.Fatalf("Append evidence: %v", err)
+	}
+	fsys.Crash()
+
+	records, res, err := ReadDir(fsys, "led")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if res.Evidence != 1 || records[0].Evidence == nil {
+		t.Fatalf("evidence bundle lost to the crash: %+v", res)
+	}
+}
+
+func TestLedgerMetricsAndIntegritySLO(t *testing.T) {
+	fsys := durable.NewMemFS()
+	reg := obs.NewRegistry()
+	l := openTestLedger(t, fsys, reg)
+	for i := 0; i < 8; i++ {
+		l.Log(Event{Kind: KindProbe, Outcome: OutcomeOK})
+	}
+	l.Log(Event{Kind: KindRefund, Outcome: OutcomeFail})
+	l.Log(Event{Kind: KindProbe, Outcome: OutcomeFail})
+	if err := l.Sync(); err != nil { // drain the async Log queue before reading metrics
+		t.Fatalf("Sync: %v", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap[obs.VecName("slicer_audit_records_total", "kind", KindProbe, "outcome", OutcomeOK)]; got != 8 {
+		t.Errorf("probe ok records = %v, want 8", got)
+	}
+	if got := snap["slicer_audit_verification_failures_total"]; got != 2 {
+		t.Errorf("verification failures = %v, want 2", got)
+	}
+	if got := snap["slicer_audit_head_seq"]; got != 10 {
+		t.Errorf("head seq gauge = %v, want 10", got)
+	}
+
+	// Two failures in ten observations is a 20% failure ratio — burn rate 20
+	// against a 99% objective's 1% budget, past the 14.4 page threshold on
+	// both windows, so the SLO engine must breach on the integrity series
+	// with no latency machinery changes.
+	eng := obs.NewEngine(reg, []obs.Objective{{
+		Name: "integrity", Metric: IntegritySeries,
+		Target: 500 * time.Millisecond, GoodRatio: 0.99, Window: time.Minute,
+	}}, obs.EngineOptions{})
+	sts := eng.Evaluate()
+	if len(sts) != 1 {
+		t.Fatalf("got %d statuses", len(sts))
+	}
+	st := sts[0]
+	if st.Missing {
+		t.Fatal("integrity series not collecting")
+	}
+	if st.GoodFraction > 0.81 || st.GoodFraction < 0.79 {
+		t.Errorf("good fraction = %v, want ~0.8", st.GoodFraction)
+	}
+	if st.State != "breach" {
+		t.Errorf("slo state = %s, want breach (fast %v slow %v)", st.State, st.FastBurn, st.SlowBurn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestNilLedgerIsSafe(t *testing.T) {
+	var l *Ledger
+	l.Log(Event{Kind: KindSearch})
+	if rec, err := l.Append(Event{Kind: KindSearch}); rec != nil || err != nil {
+		t.Errorf("nil Append = %v, %v", rec, err)
+	}
+	if head, _ := l.Head(); head != 0 {
+		t.Errorf("nil Head = %d", head)
+	}
+	if got := l.Recent(5); got != nil {
+		t.Errorf("nil Recent = %v", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+	l.SetTenant("x")
+}
+
+func TestProberJournalsOutcomes(t *testing.T) {
+	fsys := durable.NewMemFS()
+	reg := obs.NewRegistry()
+	l := openTestLedger(t, fsys, reg)
+	healthy := true
+	p := NewProber(l, func() (string, *Evidence, error) {
+		if healthy {
+			return "q<128 ok", nil, nil
+		}
+		return "q<128", &Evidence{Phase: "membership"}, errors.New("verification failed")
+	}, ProberOptions{Tenant: "canary", Registry: reg})
+
+	rec, err := p.ProbeOnce()
+	if err != nil {
+		t.Fatalf("healthy probe: %v", err)
+	}
+	if rec.Kind != KindProbe || rec.Outcome != OutcomeOK || rec.Tenant != "canary" {
+		t.Errorf("healthy probe record = %+v", rec)
+	}
+
+	healthy = false
+	rec, err = p.ProbeOnce()
+	if err == nil {
+		t.Fatal("failing probe reported success")
+	}
+	if rec.Outcome != OutcomeFail || rec.Evidence == nil {
+		t.Errorf("failing probe record = %+v", rec)
+	}
+	snap := reg.Snapshot()
+	if got := snap[obs.VecName("slicer_audit_probes_total", "outcome", OutcomeFail)]; got != 1 {
+		t.Errorf("failed probes = %v, want 1", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestLedgerConcurrentAppends(t *testing.T) {
+	fsys := durable.NewMemFS()
+	l := openTestLedger(t, fsys, nil)
+	var wg sync.WaitGroup
+	const writers, each = 8, 25
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := l.Append(Event{Kind: KindSearch, Detail: fmt.Sprintf("w%d-%d", w, i)}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, res, err := ReadDir(fsys, "led")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if res.Records != writers*each {
+		t.Errorf("records = %d, want %d", res.Records, writers*each)
+	}
+}

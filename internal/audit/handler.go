@@ -1,0 +1,114 @@
+package audit
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// AdminHandler serves the ledger at /debug/audit on the obs admin endpoint:
+//
+//	GET /debug/audit            recent records as JSON (?n=50 bounds the count)
+//	GET /debug/audit?id=<seq>   one record rendered as text, evidence included
+//
+// Only records still in the bounded recent ring are addressable here; the
+// full history is on disk for `slicer-cli audit verify` / `audit tail`.
+func (l *Ledger) AdminHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("id"); id != "" {
+			seq, err := strconv.ParseUint(id, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			rec := l.Get(seq)
+			if rec == nil {
+				http.Error(w, "record not retained in memory (walk the ledger with `slicer-cli audit tail`)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteRecordText(w, rec)
+			return
+		}
+		n := 50
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		head, hash := l.Head()
+		payload := struct {
+			HeadSeq  uint64    `json:"headSeq"`
+			HeadHash Digest    `json:"headHash"`
+			Records  []*Record `json:"records"`
+		}{head, hash, l.Recent(n)}
+		if payload.Records == nil {
+			payload.Records = []*Record{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+}
+
+// WriteRecordText renders one record with its evidence as aligned text —
+// the ?id= admin view and `slicer-cli audit tail` share this format.
+func WriteRecordText(w io.Writer, rec *Record) {
+	fmt.Fprintf(w, "record  #%d\n", rec.Seq)
+	fmt.Fprintf(w, "time    %s\n", time.Unix(0, rec.Time).UTC().Format(time.RFC3339Nano))
+	fmt.Fprintf(w, "kind    %s\n", rec.Kind)
+	fmt.Fprintf(w, "outcome %s\n", rec.Outcome)
+	if rec.Tenant != "" {
+		fmt.Fprintf(w, "tenant  %s\n", rec.Tenant)
+	}
+	if rec.Detail != "" {
+		fmt.Fprintf(w, "detail  %s\n", rec.Detail)
+	}
+	fmt.Fprintf(w, "prev    %s\n", rec.Prev)
+	fmt.Fprintf(w, "hash    %s\n", rec.Hash)
+	ev := rec.Evidence
+	if ev == nil {
+		return
+	}
+	fmt.Fprintf(w, "evidence:\n")
+	if ev.Phase != "" {
+		fmt.Fprintf(w, "  phase       %s (token index %d)\n", ev.Phase, ev.TokenIndex)
+	}
+	if len(ev.RequestID) > 0 {
+		fmt.Fprintf(w, "  request id  %s\n", hex.EncodeToString(ev.RequestID))
+	}
+	if len(ev.TxHash) > 0 {
+		fmt.Fprintf(w, "  tx hash     %s\n", hex.EncodeToString(ev.TxHash))
+	}
+	if ev.GasUsed > 0 {
+		fmt.Fprintf(w, "  gas used    %d\n", ev.GasUsed)
+	}
+	if len(ev.ReturnData) > 0 {
+		fmt.Fprintf(w, "  return data %s\n", hex.EncodeToString(ev.ReturnData))
+	}
+	if len(ev.Ac) > 0 {
+		fmt.Fprintf(w, "  ac          %s… (%d bytes)\n", hex.EncodeToString(prefixBytes(ev.Ac, 16)), len(ev.Ac))
+	}
+	if len(ev.AccPub) > 0 {
+		fmt.Fprintf(w, "  acc pub     %d bytes\n", len(ev.AccPub))
+	}
+	if len(ev.Tokens) > 0 {
+		fmt.Fprintf(w, "  tokens      %d bytes of request JSON\n", len(ev.Tokens))
+	}
+	if len(ev.Response) > 0 {
+		fmt.Fprintf(w, "  response    %d bytes of raw response JSON\n", len(ev.Response))
+		fmt.Fprintf(w, "%s\n", ev.Response)
+	}
+}
+
+func prefixBytes(b []byte, n int) []byte {
+	if len(b) < n {
+		return b
+	}
+	return b[:n]
+}

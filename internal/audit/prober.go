@@ -1,0 +1,111 @@
+package audit
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"slicer/internal/obs"
+)
+
+// DefaultProbeInterval paces the continuous prober.
+const DefaultProbeInterval = 15 * time.Second
+
+// ProbeFunc runs one synthetic verified search against the live system and
+// reports what happened. A nil error is a healthy probe; a non-nil error is
+// a failed one — with ev (optional) holding the forensic bundle when the
+// failure was a verification failure. detail is journaled either way.
+type ProbeFunc func() (detail string, ev *Evidence, err error)
+
+// ProberOptions tunes a Prober; the zero value selects the defaults.
+type ProberOptions struct {
+	// Interval between probes under Run (default DefaultProbeInterval).
+	Interval time.Duration
+	// Tenant stamps the prober's audit records.
+	Tenant string
+	// Registry counts probe outcomes (slicer_audit_probes_total).
+	Registry *obs.Registry
+	// Logger reports probe failures (may be nil).
+	Logger *slog.Logger
+}
+
+// Prober continuously issues synthetic verified searches and journals each
+// outcome as a KindProbe record — the always-on canary that turns "the test
+// suite would have caught this" into a production signal: a misbehaving
+// cloud flips the probe outcome, the ledger gains an evidence-bearing
+// record, and the integrity SLO starts burning.
+type Prober struct {
+	led      *Ledger
+	fn       ProbeFunc
+	interval time.Duration
+	tenant   string
+	logger   *slog.Logger
+	probes   *obs.CounterVec
+}
+
+// NewProber builds a prober journaling into led (which may be nil: probe
+// outcomes are then only counted/logged).
+func NewProber(led *Ledger, fn ProbeFunc, opts ProberOptions) *Prober {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultProbeInterval
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.Nop()
+	}
+	p := &Prober{led: led, fn: fn, interval: opts.Interval, tenant: opts.Tenant, logger: opts.Logger}
+	if opts.Registry != nil {
+		p.probes = opts.Registry.CounterVec("slicer_audit_probes_total",
+			"Continuous verification probes run, by outcome.", []string{"outcome"})
+	}
+	return p
+}
+
+// ProbeOnce runs a single probe and journals its outcome, returning the
+// appended record (nil when no ledger is attached) and the probe's error.
+func (p *Prober) ProbeOnce() (*Record, error) {
+	detail, ev, err := p.fn()
+	outcome := OutcomeOK
+	if err != nil {
+		outcome = OutcomeFail
+		if detail == "" {
+			detail = err.Error()
+		} else {
+			detail += ": " + err.Error()
+		}
+		p.logger.Warn("verification probe failed", "detail", detail)
+	}
+	if p.probes != nil {
+		p.probes.WithLabelValues(outcome).Inc()
+	}
+	rec, appendErr := p.led.Append(Event{
+		Kind: KindProbe, Outcome: outcome, Tenant: p.tenant, Detail: detail, Evidence: ev,
+	})
+	if appendErr != nil {
+		p.logger.Error("probe outcome not journaled", "err", appendErr)
+		if err == nil {
+			err = appendErr
+		}
+	}
+	return rec, err
+}
+
+// Run probes on a background ticker until the returned stop function is
+// called. Probe errors are journaled, not fatal — the prober's job is to
+// keep reporting.
+func (p *Prober) Run() (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_, _ = p.ProbeOnce()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,41 @@
+package audit
+
+import (
+	"path/filepath"
+	"testing"
+
+	"slicer/internal/analysis"
+)
+
+// TestVetGatesOverAudit runs the errdrop and maporder analyzers as a library
+// over this package, mirroring the durable engine's gate. An audit ledger
+// that drops an append or fsync error silently is worse than no ledger — it
+// reports a clean chain over records that never hit disk — and replay order
+// must never depend on map iteration.
+func TestVetGatesOverAudit(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash("internal/audit")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("no package at internal/audit")
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("typecheck: %v", terr)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{
+		analysis.ErrDrop,
+		analysis.MapOrder,
+	})
+	for _, d := range diags {
+		t.Errorf("slicer-vet gate violation in audit ledger: %s", d)
+	}
+}

@@ -42,6 +42,7 @@ func Experiments() []Experiment {
 		{"ablation-vo-merkle", "Accumulator VO vs Merkle proof", (*Runner).AblationVOvsMerkle},
 		{"ablation-durability", "WAL fsync overhead & cold-start recovery", (*Runner).AblationDurability},
 		{"ablation-observability", "Telemetry layer: windowed quantiles & overhead", (*Runner).AblationObservability},
+		{"ablation-audit", "Audit ledger: journaling overhead on search", (*Runner).AblationAudit},
 	}
 }
 

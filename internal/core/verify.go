@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 
@@ -8,6 +9,54 @@ import (
 	"slicer/internal/mhash"
 	"slicer/internal/obs"
 )
+
+// Verification phases, naming which check of Algorithm 5 a response failed.
+const (
+	// PhaseCompleteness: the response does not answer every requested token
+	// exactly once (a lazy cloud dropped or padded results).
+	PhaseCompleteness = "completeness"
+	// PhaseOrder: a result answers a token the request never issued — the
+	// response does not respect the requested token multiset.
+	PhaseOrder = "order"
+	// PhaseMembership: a result's accumulator membership proof is invalid
+	// (tampered encrypted results, witness or stale accumulation value).
+	PhaseMembership = "membership"
+)
+
+// VerificationError is the structured failure every verification path
+// returns: it names the offending token result and the phase that rejected
+// it, and unwraps to ErrVerification so existing errors.Is checks keep
+// working. Audit evidence bundles persist these fields to attribute
+// misbehavior after the fact.
+type VerificationError struct {
+	// TokenIndex is the index of the offending result in the response
+	// (-1 for response-level failures that no single result explains).
+	TokenIndex int
+	// Phase is PhaseCompleteness, PhaseOrder or PhaseMembership.
+	Phase string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (e *VerificationError) Error() string {
+	if e.TokenIndex < 0 {
+		return fmt.Sprintf("%s: %s (phase %s)", ErrVerification.Error(), e.Detail, e.Phase)
+	}
+	return fmt.Sprintf("%s: token result %d: %s (phase %s)", ErrVerification.Error(), e.TokenIndex, e.Detail, e.Phase)
+}
+
+// Unwrap ties the structured error to the ErrVerification sentinel.
+func (e *VerificationError) Unwrap() error { return ErrVerification }
+
+// AsVerificationError extracts the structured verification failure from an
+// error chain (nil, false when err is not a verification failure).
+func AsVerificationError(err error) (*VerificationError, bool) {
+	var ve *VerificationError
+	if errors.As(err, &ve) {
+		return ve, true
+	}
+	return nil, false
+}
 
 // VerifyTokenResult runs Algorithm 5 for a single token result against the
 // accumulation value ac (fetched from the blockchain): recompute the
@@ -54,7 +103,8 @@ func VerifyResponseObserved(pp *accumulator.PublicParams, ac *big.Int, req *Sear
 // 0 uses one worker per available core, 1 verifies serially.
 func VerifyResponseWorkers(pp *accumulator.PublicParams, ac *big.Int, req *SearchRequest, resp *SearchResponse, workers int) error {
 	if len(resp.Results) != len(req.Tokens) {
-		return fmt.Errorf("%w: %d results for %d tokens", ErrVerification, len(resp.Results), len(req.Tokens))
+		return &VerificationError{TokenIndex: -1, Phase: PhaseCompleteness,
+			Detail: fmt.Sprintf("%d results for %d tokens", len(resp.Results), len(req.Tokens))}
 	}
 	// Response-level completeness accounting is sequential (shared map,
 	// negligible cost); only the per-result cryptographic checks fan out.
@@ -65,13 +115,15 @@ func VerifyResponseWorkers(pp *accumulator.PublicParams, ac *big.Int, req *Searc
 	for i, res := range resp.Results {
 		key := tokenKey(res.Token)
 		if remaining[key] == 0 {
-			return fmt.Errorf("%w: result %d answers a token that was not requested", ErrVerification, i)
+			return &VerificationError{TokenIndex: i, Phase: PhaseOrder,
+				Detail: "answers a token that was not requested"}
 		}
 		remaining[key]--
 	}
 	return forEachIndexed(len(resp.Results), effectiveWorkers(workers), func(i int) error {
 		if !VerifyTokenResult(pp, ac, resp.Results[i]) {
-			return fmt.Errorf("%w: token result %d has an invalid proof", ErrVerification, i)
+			return &VerificationError{TokenIndex: i, Phase: PhaseMembership,
+				Detail: "invalid membership proof"}
 		}
 		return nil
 	})

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestVerificationErrorStructure pins the structured failure contract: every
+// rejection carries the phase and token index that explain it, and still
+// satisfies errors.Is(err, ErrVerification) through arbitrary wrapping.
+func TestVerificationErrorStructure(t *testing.T) {
+	db := []Record{NewRecord(1, 5), NewRecord(2, 8), NewRecord(3, 5)}
+	d := deploy(t, 8, db, WitnessCached)
+	pp, ac := d.owner.AccumulatorPub(), d.owner.Ac()
+
+	req, err := d.user.Token(Equal(5))
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+
+	cases := []struct {
+		name      string
+		mutate    func(*SearchResponse)
+		wantPhase string
+		wantIndex int
+	}{
+		{"drop-token-result", func(r *SearchResponse) {
+			r.Results = r.Results[:len(r.Results)-1]
+		}, PhaseCompleteness, -1},
+		{"swap-in-foreign-token", func(r *SearchResponse) {
+			r.Results[0].Token.Trapdoor = append([]byte(nil), r.Results[0].Token.Trapdoor...)
+			r.Results[0].Token.Trapdoor[0] ^= 0x01
+		}, PhaseOrder, 0},
+		{"flip-result-byte", func(r *SearchResponse) {
+			r.Results[0].ER[0][3] ^= 0x01
+		}, PhaseMembership, 0},
+	}
+	for _, tc := range cases {
+		resp, err := d.cloud.Search(req)
+		if err != nil {
+			t.Fatalf("%s: Search: %v", tc.name, err)
+		}
+		tc.mutate(resp)
+		err = VerifyResponse(pp, ac, req, resp)
+		if err == nil {
+			t.Fatalf("%s: tampered response passed verification", tc.name)
+		}
+		if !errors.Is(err, ErrVerification) {
+			t.Errorf("%s: errors.Is(err, ErrVerification) = false for %v", tc.name, err)
+		}
+		ve, ok := AsVerificationError(err)
+		if !ok {
+			t.Fatalf("%s: no VerificationError in chain of %v", tc.name, err)
+		}
+		if ve.Phase != tc.wantPhase {
+			t.Errorf("%s: phase = %q, want %q", tc.name, ve.Phase, tc.wantPhase)
+		}
+		if ve.TokenIndex != tc.wantIndex {
+			t.Errorf("%s: token index = %d, want %d", tc.name, ve.TokenIndex, tc.wantIndex)
+		}
+		// The structured fields must survive another wrapping layer, the way
+		// callers annotate before journaling evidence.
+		wrapped := fmt.Errorf("fair exchange: %w", err)
+		if !errors.Is(wrapped, ErrVerification) {
+			t.Errorf("%s: wrapped error lost the ErrVerification sentinel", tc.name)
+		}
+		if _, ok := AsVerificationError(wrapped); !ok {
+			t.Errorf("%s: wrapped error lost the structured VerificationError", tc.name)
+		}
+	}
+}

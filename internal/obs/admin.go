@@ -19,6 +19,7 @@ import (
 //	GET  /healthz                 "ok" + uptime
 //	GET  /debug/traces            retained traces as JSON; ?id=<traceId> renders one as text
 //	GET  /debug/slo               SLO statuses as JSON; ?format=text for an aligned render
+//	GET  /debug/audit             recent audit records as JSON; ?id=<seq> renders one with evidence
 //	POST /debug/profile/capture   synchronous on-demand profile capture (GET works too)
 //	GET  /debug/vars              expvar JSON
 //	GET  /debug/pprof/...         pprof index, profiles, symbol, trace
@@ -38,6 +39,9 @@ type AdminOptions struct {
 	Logger   *slog.Logger
 	SLO      *Engine
 	Profiler *Profiler
+	// Audit serves /debug/audit (typically audit.(*Ledger).AdminHandler);
+	// nil serves an explicit "not configured" payload.
+	Audit http.Handler
 }
 
 // StartAdmin binds addr (":0" picks a free port) and serves the admin
@@ -116,6 +120,14 @@ func StartAdminOpts(addr string, opts AdminOptions) (*Admin, error) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = opts.SLO.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Audit == nil {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"headSeq":0,"records":[],"note":"auditing not configured (start the server with -audit-dir)"}`)
+			return
+		}
+		opts.Audit.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/profile/capture", func(w http.ResponseWriter, r *http.Request) {
 		if opts.Profiler == nil {

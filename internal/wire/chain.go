@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"slicer/internal/audit"
 	"slicer/internal/chain"
 	"slicer/internal/obs"
 )
@@ -53,7 +54,8 @@ type CallResult struct {
 type ChainServer struct {
 	mu      sync.Mutex
 	network *chain.Network
-	jour    *journal // nil until EnableDurability
+	jour    *journal      // nil until EnableDurability
+	aud     *audit.Ledger // nil until EnableAudit
 	srv     *Server
 	started time.Time
 
@@ -112,6 +114,24 @@ func (cs *ChainServer) SetObservability(reg *obs.Registry, logger *slog.Logger) 
 		"Gas consumed by executed transactions (on-chain verification dominates).")
 	cs.reverted = reg.Counter("slicer_chain_txs_reverted_total", "Transactions that reverted.")
 	cs.mu.Unlock()
+}
+
+// EnableAudit journals every sealed block — receipts, reverted count, gas —
+// into led as KindSeal records. The chain cannot see contract semantics
+// (which receipts settle a search versus refund one: that attribution is the
+// client's, who holds the request), so its ledger anchors the settlement
+// history a client-side ledger's settle/refund records are checked against.
+func (cs *ChainServer) EnableAudit(led *audit.Ledger) {
+	cs.mu.Lock()
+	cs.aud = led
+	cs.mu.Unlock()
+}
+
+// Audit returns the attached audit ledger (nil when auditing is off).
+func (cs *ChainServer) Audit() *audit.Ledger {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.aud
 }
 
 // Server exposes the underlying RPC server for transport-level tuning.
@@ -180,11 +200,22 @@ func (cs *ChainServer) handleStep(_ json.RawMessage, tr *obs.Trace) (any, error)
 	}
 	cs.blocks.Inc()
 	cs.txs.Add(uint64(len(block.Receipts)))
+	reverted := 0
 	for _, r := range block.Receipts {
 		cs.gasUsed.Add(r.GasUsed)
 		if !r.Status {
 			cs.reverted.Inc()
+			reverted++
 		}
+	}
+	if cs.aud != nil && len(block.Receipts) > 0 {
+		// Empty blocks are heartbeat noise; sealed transactions are the
+		// settlement history worth anchoring.
+		cs.aud.Log(audit.Event{
+			Kind: audit.KindSeal,
+			Detail: fmt.Sprintf("block %d: %d txs, %d reverted",
+				block.Header.Number, len(block.Receipts), reverted),
+		})
 	}
 	return map[string]uint64{"number": block.Header.Number}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"slicer/internal/accumulator"
+	"slicer/internal/audit"
 	"slicer/internal/core"
 	"slicer/internal/obs"
 	"slicer/internal/store"
@@ -61,6 +62,11 @@ type CloudStats struct {
 	// SLOs are the current objective states (empty when no SLO engine is
 	// attached).
 	SLOs []obs.SLOStatus `json:"slos,omitempty"`
+	// AuditHeadSeq / AuditHeadHash expose the audit ledger head (zero when
+	// auditing is off) — the anchor a client can note down and later compare
+	// against `slicer-cli audit verify`.
+	AuditHeadSeq  uint64 `json:"auditHeadSeq,omitempty"`
+	AuditHeadHash string `json:"auditHeadHash,omitempty"`
 }
 
 // EncodeCloudInit converts an owner's CloudState into its wire form.
@@ -150,7 +156,8 @@ func decodePrimes(raw [][]byte) []*big.Int {
 type CloudServer struct {
 	mu      sync.RWMutex // guards the cloud pointer, not the cloud's state
 	cloud   *core.Cloud
-	jour    *journal // nil until EnableDurability
+	jour    *journal      // nil until EnableDurability
+	aud     *audit.Ledger // nil until EnableAudit
 	srv     *Server
 	reg     *obs.Registry // nil until SetObservability; forwarded to the hosted cloud
 	slo     *obs.Engine   // nil until AttachSLO
@@ -164,9 +171,9 @@ type CloudServer struct {
 func NewCloudServer() *CloudServer {
 	cs := &CloudServer{srv: NewServer(), started: time.Now()}
 	cs.srv.SetTraceStore(obs.NewTraceStore(0))
-	cs.srv.Handle(MethodCloudInit, cs.handleInit)
-	cs.srv.Handle(MethodCloudUpdate, cs.handleUpdate)
-	cs.srv.HandleTraced(MethodCloudSearch, cs.handleSearch)
+	cs.srv.HandleMeta(MethodCloudInit, cs.handleInit)
+	cs.srv.HandleMeta(MethodCloudUpdate, cs.handleUpdate)
+	cs.srv.HandleMeta(MethodCloudSearch, cs.handleSearch)
 	cs.srv.Handle(MethodCloudStats, cs.handleStats)
 	return cs
 }
@@ -201,6 +208,23 @@ func (cs *CloudServer) AttachSLO(e *obs.Engine) {
 	cs.mu.Lock()
 	cs.slo = e
 	cs.mu.Unlock()
+}
+
+// EnableAudit journals every security-relevant event this server handles —
+// init, update, search — into led, attributed to the requesting tenant.
+// Appends are best-effort on the serving path: a failing audit disk degrades
+// to a counted, logged loss, never a failed search.
+func (cs *CloudServer) EnableAudit(led *audit.Ledger) {
+	cs.mu.Lock()
+	cs.aud = led
+	cs.mu.Unlock()
+}
+
+// Audit returns the attached audit ledger (nil when auditing is off).
+func (cs *CloudServer) Audit() *audit.Ledger {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.aud
 }
 
 // Server exposes the underlying RPC server for transport-level tuning
@@ -263,7 +287,7 @@ func (cs *CloudServer) install(cloud *core.Cloud) error {
 	return nil
 }
 
-func (cs *CloudServer) handleInit(params json.RawMessage) (any, error) {
+func (cs *CloudServer) handleInit(params json.RawMessage, _ *obs.Trace, m Meta) (any, error) {
 	var msg CloudInitMsg
 	if err := json.Unmarshal(params, &msg); err != nil {
 		return nil, err
@@ -281,6 +305,7 @@ func (cs *CloudServer) handleInit(params json.RawMessage) (any, error) {
 		if err := cs.install(cloud); err != nil {
 			return nil, err
 		}
+		cs.auditEvent(audit.KindInit, m, fmt.Sprintf("index %d entries, %d primes", cloud.IndexLen(), cloud.PrimeCount()))
 		return map[string]bool{"ok": true}, nil
 	}
 	// Refuse before journaling so a doomed re-init leaves no WAL record.
@@ -291,7 +316,23 @@ func (cs *CloudServer) handleInit(params json.RawMessage) (any, error) {
 	if err := jour.commit(rec, func() error { return cs.install(cloud) }, cs.cloudSnapshotState); err != nil {
 		return nil, err
 	}
+	cs.auditEvent(audit.KindInit, m, fmt.Sprintf("index %d entries, %d primes", cloud.IndexLen(), cloud.PrimeCount()))
 	return map[string]bool{"ok": true}, nil
+}
+
+// auditEvent journals one ok-outcome event best-effort, attributed to the
+// requesting tenant and peer.
+func (cs *CloudServer) auditEvent(kind string, m Meta, detail string) {
+	led := cs.Audit()
+	if led == nil {
+		return
+	}
+	if detail == "" {
+		detail = "peer " + m.Peer
+	} else {
+		detail += " (peer " + m.Peer + ")"
+	}
+	led.Log(audit.Event{Kind: kind, Tenant: m.Tenant, Detail: detail})
 }
 
 func (cs *CloudServer) get() (*core.Cloud, error) {
@@ -303,7 +344,7 @@ func (cs *CloudServer) get() (*core.Cloud, error) {
 	return cs.cloud, nil
 }
 
-func (cs *CloudServer) handleUpdate(params json.RawMessage) (any, error) {
+func (cs *CloudServer) handleUpdate(params json.RawMessage, _ *obs.Trace, m Meta) (any, error) {
 	cloud, err := cs.get()
 	if err != nil {
 		return nil, err
@@ -321,6 +362,7 @@ func (cs *CloudServer) handleUpdate(params json.RawMessage) (any, error) {
 		if err := cloud.ApplyUpdate(out); err != nil {
 			return nil, err
 		}
+		cs.auditEvent(audit.KindUpdate, m, fmt.Sprintf("+%d index entries", out.Index.Len()))
 		return map[string]bool{"ok": true}, nil
 	}
 	// Journal, then apply under the journal mutex: WAL order must equal
@@ -330,13 +372,14 @@ func (cs *CloudServer) handleUpdate(params json.RawMessage) (any, error) {
 	if err := jour.commit(rec, func() error { return cloud.ApplyUpdate(out) }, cs.cloudSnapshotState); err != nil {
 		return nil, err
 	}
+	cs.auditEvent(audit.KindUpdate, m, fmt.Sprintf("+%d index entries", out.Index.Len()))
 	return map[string]bool{"ok": true}, nil
 }
 
 // handleSearch records the cloud's collect/witness phases into the
 // propagated trace (nil for context-free callers — then it is exactly the
 // pre-trace handler).
-func (cs *CloudServer) handleSearch(params json.RawMessage, tr *obs.Trace) (any, error) {
+func (cs *CloudServer) handleSearch(params json.RawMessage, tr *obs.Trace, m Meta) (any, error) {
 	cloud, err := cs.get()
 	if err != nil {
 		return nil, err
@@ -345,7 +388,12 @@ func (cs *CloudServer) handleSearch(params json.RawMessage, tr *obs.Trace) (any,
 	if err := json.Unmarshal(params, &req); err != nil {
 		return nil, err
 	}
-	return cloud.SearchTraced(&req, tr)
+	resp, err := cloud.SearchTraced(&req, tr)
+	if err != nil {
+		return nil, err
+	}
+	cs.auditEvent(audit.KindSearch, m, fmt.Sprintf("%d tokens, %d results", len(req.Tokens), len(resp.Results)))
+	return resp, nil
 }
 
 func (cs *CloudServer) handleStats(json.RawMessage) (any, error) {
@@ -369,6 +417,11 @@ func (cs *CloudServer) handleStats(json.RawMessage) (any, error) {
 	}
 	if slo != nil {
 		st.SLOs = slo.Evaluate()
+	}
+	if led := cs.Audit(); led != nil {
+		seq, hash := led.Head()
+		st.AuditHeadSeq = seq
+		st.AuditHeadHash = hash.String()
 	}
 	return st, nil
 }

@@ -129,13 +129,28 @@ type Handler func(params json.RawMessage) (any, error)
 // makes every span a no-op, so no branching is needed.
 type TracedHandler func(params json.RawMessage, tr *obs.Trace) (any, error)
 
+// Meta is per-request metadata the RPC layer extracts from the envelope and
+// the transport — who the caller claims to be and where the bytes came from.
+// Handlers that journal audit records use it to attribute events.
+type Meta struct {
+	// Tenant is the caller-declared tenant tag from the request envelope
+	// (empty when the client set none).
+	Tenant string
+	// Peer is the remote address of the connection serving the request.
+	Peer string
+}
+
+// MetaHandler is a TracedHandler that additionally receives the request
+// metadata.
+type MetaHandler func(params json.RawMessage, tr *obs.Trace, m Meta) (any, error)
+
 // handlerEntry is one registered method with its per-method instruments
 // (nil until SetMetrics attaches a registry). ok/fail are the
 // outcome-labeled children of the requests vector; dur is a sliding-window
 // histogram, so the method exports live quantile gauges next to its
 // cumulative series.
 type handlerEntry struct {
-	fn        TracedHandler
+	fn        MetaHandler
 	ok        *obs.Counter
 	fail      *obs.Counter
 	errs      *obs.Counter // legacy unsplit error series, kept for dashboards
@@ -304,6 +319,14 @@ func (s *Server) Handle(method string, h Handler) {
 // HandleTraced registers a method handler that records its phases into the
 // request's propagated trace.
 func (s *Server) HandleTraced(method string, h TracedHandler) {
+	s.HandleMeta(method, func(params json.RawMessage, tr *obs.Trace, _ Meta) (any, error) {
+		return h(params, tr)
+	})
+}
+
+// HandleMeta registers a method handler that additionally receives the
+// request metadata (tenant, peer) for attribution.
+func (s *Server) HandleMeta(method string, h MetaHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := &handlerEntry{fn: h}
@@ -388,7 +411,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			tr := s.openTrace(&req)
 			t0 := e.dur.Start()
 			endHandle := tr.Span("handle:" + req.Method)
-			result, err := e.fn(req.Params, tr)
+			result, err := e.fn(req.Params, tr, Meta{Tenant: req.Tenant, Peer: peer})
 			endHandle()
 			if !t0.IsZero() {
 				// Traced requests leave an exemplar on their latency bucket,

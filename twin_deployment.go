@@ -2,8 +2,10 @@ package slicer
 
 import (
 	"crypto/rand"
+	"encoding/json"
 	"fmt"
 
+	"slicer/internal/audit"
 	"slicer/internal/chain"
 	"slicer/internal/contract"
 	"slicer/internal/core"
@@ -27,6 +29,16 @@ type TwinDeployment struct {
 	OwnerAddr Address
 	UserAddr  Address
 	CloudAddr Address
+
+	aud       *audit.Ledger
+	audTenant string
+}
+
+// AttachAudit journals the twin deployment's per-half settle/refund events
+// into led, stamped with tenant. A nil ledger detaches.
+func (d *TwinDeployment) AttachAudit(led *audit.Ledger, tenant string) {
+	d.aud = led
+	d.audTenant = tenant
 }
 
 // TwinOutcome reports a twin fair-exchange search.
@@ -250,8 +262,41 @@ func (d *TwinDeployment) VerifiedSearch(q Query, fee uint64) (*TwinOutcome, erro
 			return nil, fmt.Errorf("slicer: twin submission %d reverted: %s", i, r.Err)
 		}
 		outcome.GasUsed += r.GasUsed
-		if len(r.ReturnData) != 1 || r.ReturnData[0] != 1 {
+		instName := [2]string{"insert", "delete"}[i]
+		if len(r.ReturnData) == 1 && r.ReturnData[0] == 1 {
+			d.aud.Log(audit.Event{
+				Kind:   audit.KindSettle,
+				Tenant: d.audTenant,
+				Detail: fmt.Sprintf("twin %s half, request %x… settled, gas %d", instName, reqID[:8], r.GasUsed),
+			})
+		} else {
 			outcome.Settled = false
+			ev := &audit.Evidence{
+				Ac:         inst.Ac().Bytes(),
+				AccPub:     inst.AccumulatorPub().Marshal(),
+				TokenIndex: -1,
+				RequestID:  reqID[:],
+				GasUsed:    r.GasUsed,
+				ReturnData: r.ReturnData,
+			}
+			if b, err := json.Marshal(halves[i]); err == nil {
+				ev.Tokens = b
+			}
+			if b, err := json.Marshal(half); err == nil {
+				ev.Response = b
+			}
+			detail := fmt.Sprintf("twin %s half, request %x… refunded", instName, reqID[:8])
+			if verr := core.VerifyResponse(inst.AccumulatorPub(), inst.Ac(), halves[i], half); verr != nil {
+				if ve, ok := core.AsVerificationError(verr); ok {
+					ev.Phase = ve.Phase
+					ev.TokenIndex = ve.TokenIndex
+				}
+				detail += ": " + verr.Error()
+			}
+			d.aud.Log(audit.Event{
+				Kind: audit.KindRefund, Outcome: audit.OutcomeFail,
+				Tenant: d.audTenant, Detail: detail, Evidence: ev,
+			})
 		}
 	}
 	if outcome.Settled {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	slicer-vet [-json] [packages]
+//	slicer-vet [-json|-sarif] [packages]
 //
 // Packages are directories relative to the current module ("./internal/core")
 // or the wildcard "./..." (the default), matching every package in the
@@ -33,9 +33,10 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout (code-scanning upload format)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: slicer-vet [-json] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: slicer-vet [-json|-sarif] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -87,11 +88,18 @@ func main() {
 	diags := analysis.Run(pkgs, analysis.All())
 	relativize(diags, root)
 
-	if *jsonOut {
+	switch {
+	case *jsonOut && *sarifOut:
+		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
+	case *jsonOut:
 		if err := analysis.WriteJSON(os.Stdout, loader.ModulePath, len(pkgs), diags); err != nil {
 			fatal(err)
 		}
-	} else {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, analysis.All(), diags); err != nil {
+			fatal(err)
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}

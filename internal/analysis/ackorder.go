@@ -1,0 +1,316 @@
+package analysis
+
+// ackorder enforces the durability contract on RPC handlers: on every
+// path through a handle* method where server state is mutated, a durable
+// journal append (journal.commit, or a WAL Append/Sync) must dominate the
+// success response — otherwise a crash between the ack and the append
+// loses an acknowledged write. The check is the dataflow formulation of
+// dominance: "journaled" merges with AND, so it only survives a join if
+// the append happened on every incoming path; a success return with
+// "mutated" set and "journaled" clear is reported.
+//
+// Handlers that run without durability are recognized through the
+// conditional: the `jour == nil` true-branch (and `jour != nil`
+// false-branch) is exempt, matching the optional-durability wiring where
+// EnableDurability was never called.
+//
+// The analyzer is scoped to wire packages (package base name "wire"),
+// where the request/response trust boundary lives.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AckOrder reports success acks not dominated by a durable journal append.
+var AckOrder = &Analyzer{
+	Name: "ackorder",
+	Doc: "requires a durable journal append (journal.commit / WAL Append+Sync) " +
+		"to dominate every success response on state-mutating RPC handler paths",
+	Run: runAckOrder,
+}
+
+// ackMutations are the callee names that mutate acknowledged server state.
+var ackMutations = map[string]bool{
+	"ApplyUpdate": true, "ImportBlock": true, "ImportSnapshot": true,
+	"Step": true, "Install": true, "install": true, "Restore": true,
+}
+
+// ackFact tracks one path's durability status. "covered" means the path
+// is safe to acknowledge: a durable append happened, or the path runs in
+// the explicit no-durability mode. It merges with AND — dominance — so it
+// only survives a join when every incoming path is safe.
+type ackFact struct {
+	mutated bool // some mutation happened (OR-merge)
+	covered bool // durably journaled or durability-exempt (AND-merge)
+	mutPos  token.Pos
+}
+
+type ackScan struct {
+	pkg  *Package
+	prog *Program
+	fn   *FuncNode
+	// journalers are module functions that perform a journal append
+	// themselves (transitively).
+	journalers map[string]bool
+	onReport   func(pos token.Pos, format string, args ...any)
+}
+
+// Boundary implements FlowProblem.
+func (as *ackScan) Boundary(*CFG) ackFact { return ackFact{} }
+
+// Transfer implements FlowProblem.
+func (as *ackScan) Transfer(b *Block, in ackFact) ackFact {
+	fact := in
+	for _, n := range b.Nodes {
+		as.applyNode(n, &fact, false)
+	}
+	return fact
+}
+
+// Merge implements FlowProblem.
+func (as *ackScan) Merge(a, b ackFact) ackFact {
+	out := ackFact{
+		mutated: a.mutated || b.mutated,
+		covered: a.covered && b.covered,
+	}
+	switch {
+	case a.mutPos != token.NoPos && b.mutPos != token.NoPos:
+		out.mutPos = min(a.mutPos, b.mutPos)
+	case a.mutPos != token.NoPos:
+		out.mutPos = a.mutPos
+	default:
+		out.mutPos = b.mutPos
+	}
+	return out
+}
+
+// Equal implements FlowProblem.
+func (as *ackScan) Equal(a, b ackFact) bool { return a == b }
+
+// Refine implements EdgeRefiner: branches testing the journal against nil
+// mark the journal-free side exempt.
+func (as *ackScan) Refine(e Edge, out ackFact) ackFact {
+	cond := e.From.Cond
+	if cond == nil {
+		return out
+	}
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return out
+	}
+	other := ast.Expr(nil)
+	if isNilIdent(bin.Y) {
+		other = bin.X
+	} else if isNilIdent(bin.X) {
+		other = bin.Y
+	}
+	if other == nil || !as.journalish(other) {
+		return out
+	}
+	nilEdge := (bin.Op == token.EQL && e.Kind == EdgeTrue) ||
+		(bin.Op == token.NEQ && e.Kind == EdgeFalse)
+	if nilEdge {
+		out.covered = true
+	}
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// journalish reports whether an expression denotes the durability journal:
+// its name mentions "jour", or its type chain names a journal or WAL.
+func (as *ackScan) journalish(e ast.Expr) bool {
+	for _, w := range exprWords(ast.Unparen(e)) {
+		if strings.Contains(strings.ToLower(w), "jour") {
+			return true
+		}
+	}
+	if tv, ok := as.pkg.Info.Types[e]; ok {
+		for _, name := range namedTypeNames(tv.Type) {
+			lower := strings.ToLower(name)
+			if strings.Contains(lower, "journal") || strings.Contains(lower, "wal") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (as *ackScan) applyNode(n ast.Node, fact *ackFact, callbacks bool) {
+	blockExprs(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if as.isJournalEvent(call) {
+			fact.covered = true
+			return true
+		}
+		if fn := calleeFunc(as.pkg.Info, call); fn != nil {
+			if ackMutations[fn.Name()] {
+				fact.mutated = true
+				if fact.mutPos == token.NoPos {
+					fact.mutPos = call.Pos()
+				}
+			} else if as.journalers[funcKey(fn.Pkg(), fn.Name())] {
+				fact.covered = true
+			}
+		}
+		return true
+	})
+	if r, ok := n.(*ast.ReturnStmt); ok && callbacks {
+		as.checkReturn(r, *fact)
+	}
+}
+
+// checkReturn reports a success return (last result is the nil literal)
+// on a mutated, unjournaled, non-exempt path.
+func (as *ackScan) checkReturn(r *ast.ReturnStmt, fact ackFact) {
+	if as.onReport == nil || len(r.Results) == 0 {
+		return
+	}
+	if !isNilIdent(r.Results[len(r.Results)-1]) {
+		return
+	}
+	if fact.mutated && !fact.covered {
+		where := ""
+		if fact.mutPos != token.NoPos {
+			p := as.pkg.Fset.Position(fact.mutPos)
+			where = " (mutated at line " + itoa(p.Line) + ")"
+		}
+		as.onReport(r.Pos(), "success response returned on a path where state was mutated%s without a durable journal append dominating it", where)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// isJournalEvent recognizes durable appends: a commit method on a
+// journal-typed receiver, or Append/Sync on a WAL/durable-log receiver.
+func (as *ackScan) isJournalEvent(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "commit", "Commit":
+		return as.journalish(sel.X)
+	case "Append", "Sync":
+		if tv, ok := as.pkg.Info.Types[sel.X]; ok {
+			for _, tn := range namedTypeNames(tv.Type) {
+				lower := strings.ToLower(tn)
+				if strings.Contains(lower, "journal") || strings.Contains(lower, "wal") || lower == "log" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func funcKey(pkg *types.Package, name string) string {
+	if pkg == nil {
+		return name
+	}
+	return pkg.Path() + "." + name
+}
+
+// journalerFuncs finds module functions that perform a journal append
+// themselves, transitively through module calls (bounded rounds).
+func journalerFuncs(prog *Program) map[string]bool {
+	return prog.Cached("ackorder.journalers", func() any {
+		out := make(map[string]bool)
+		// Exits early once a round adds nothing; the cap only bounds
+		// pathological call chains.
+		for round := 0; round < 16; round++ {
+			changed := false
+			for _, pkg := range prog.Pkgs {
+				as := &ackScan{pkg: pkg, prog: prog, journalers: out}
+				for _, node := range prog.Funcs(pkg) {
+					if node.Decl.Body == nil {
+						continue
+					}
+					key := funcKey(node.Fn.Pkg(), node.Fn.Name())
+					if out[key] {
+						continue
+					}
+					found := false
+					ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+						if _, ok := n.(*ast.FuncLit); ok {
+							return false
+						}
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if as.isJournalEvent(call) {
+							found = true
+						} else if fn := calleeFunc(pkg.Info, call); fn != nil && out[funcKey(fn.Pkg(), fn.Name())] {
+							found = true
+						}
+						return !found
+					})
+					if found {
+						out[key] = true
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		return out
+	}).(map[string]bool)
+}
+
+func runAckOrder(pass *Pass) {
+	if pkgBase(pass.Pkg.PkgPath) != "wire" {
+		return
+	}
+	prog := pass.Prog
+	if prog == nil {
+		prog = NewProgram([]*Package{pass.Pkg})
+	}
+	journalers := journalerFuncs(prog)
+	for _, node := range prog.Funcs(pass.Pkg) {
+		if !strings.HasPrefix(node.Fn.Name(), "handle") {
+			continue
+		}
+		g := node.CFG()
+		if g == nil {
+			continue
+		}
+		as := &ackScan{pkg: pass.Pkg, prog: prog, fn: node, journalers: journalers}
+		res := Forward(g, FlowProblem[ackFact](as))
+		as.onReport = pass.Reportf
+		for _, b := range g.Blocks {
+			in, ok := res.In[b]
+			if !ok {
+				continue
+			}
+			fact := in
+			for _, n := range b.Nodes {
+				as.applyNode(n, &fact, true)
+			}
+		}
+	}
+}

@@ -38,10 +38,14 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// A Pass carries one analyzer's run over one package.
+// A Pass carries one analyzer's run over one package. Prog spans every
+// package of the run, giving the flow-sensitive analyzers their
+// interprocedural view (call-graph summaries degrade conservatively when a
+// run loads only part of the module).
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 
 	diags []Diagnostic
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -20,6 +21,14 @@ type Directive struct {
 	Reason string
 	// Pos is the comment's position.
 	Pos token.Position
+	// FromLine and ToLine bound the suppressed line span (inclusive). The
+	// span is at least the directive's own line and the next; when the
+	// directive sits on or directly above a multi-line simple statement (a
+	// composite-literal assignment, a call wrapped across lines), it widens
+	// to the statement's full extent so the suppression covers every line
+	// the statement's diagnostics can land on. Compound statements (blocks,
+	// loops, branches) never widen the span.
+	FromLine, ToLine int
 }
 
 // CollectDirectives scans a package's comments for //slicer:allow
@@ -64,10 +73,16 @@ func CollectDirectives(pkg *Package, known map[string]bool) ([]Directive, []Diag
 					report(pos, "//slicer:allow "+name+" directive missing required reason (\"-- <why this is safe>\")")
 					continue
 				}
+				from, to := pos.Line, pos.Line+1
+				if sf, st, ok := enclosingSimpleStmtSpan(pkg, file, pos.Line); ok {
+					from, to = min(from, sf), max(to, st)
+				}
 				dirs = append(dirs, Directive{
 					Analyzer: name,
 					Reason:   strings.TrimSpace(reason),
 					Pos:      pos,
+					FromLine: from,
+					ToLine:   to,
 				})
 			}
 		}
@@ -77,6 +92,44 @@ func CollectDirectives(pkg *Package, known map[string]bool) ([]Directive, []Diag
 
 func quote(s string) string { return "\"" + s + "\"" }
 
+// enclosingSimpleStmtSpan finds the innermost simple statement (or var
+// spec) whose line span touches the directive's line or the line below it,
+// and returns that statement's full line span. Only simple statements
+// qualify: a directive above an if/for/block must not blanket-suppress the
+// whole construct, but one above a statement that happens to wrap across
+// lines — a composite literal, a multi-line call — covers all of it.
+func enclosingSimpleStmtSpan(pkg *Package, file *ast.File, line int) (int, int, bool) {
+	var best ast.Node
+	var bestFrom, bestTo int
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+			*ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt,
+			*ast.ValueSpec:
+		default:
+			return true
+		}
+		from := pkg.Fset.Position(n.Pos()).Line
+		to := pkg.Fset.Position(n.End()).Line
+		if to < line || from > line+1 {
+			return true
+		}
+		// Innermost wins: a contained statement starts at or after its
+		// container, and later candidates are deeper in the walk.
+		if best == nil || n.Pos() >= best.Pos() {
+			best, bestFrom, bestTo = n, from, to
+		}
+		return true
+	})
+	if best == nil {
+		return 0, 0, false
+	}
+	return bestFrom, bestTo, true
+}
+
 // suppressionKey identifies one (file, line, analyzer) suppression slot.
 type suppressionKey struct {
 	file     string
@@ -85,7 +138,8 @@ type suppressionKey struct {
 }
 
 // applySuppressions drops diagnostics covered by a directive for the same
-// analyzer on the diagnostic's line or the line directly above it.
+// analyzer within the directive's suppressed line span (at minimum its own
+// line and the next; widened over the enclosing simple statement).
 // Directive diagnostics themselves are never suppressed.
 func applySuppressions(diags []Diagnostic, dirs []Directive) []Diagnostic {
 	if len(dirs) == 0 {
@@ -93,8 +147,16 @@ func applySuppressions(diags []Diagnostic, dirs []Directive) []Diagnostic {
 	}
 	allowed := make(map[suppressionKey]bool, 2*len(dirs))
 	for _, d := range dirs {
-		allowed[suppressionKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] = true
-		allowed[suppressionKey{d.Pos.Filename, d.Pos.Line + 1, d.Analyzer}] = true
+		from, to := d.FromLine, d.ToLine
+		if from <= 0 || from > d.Pos.Line {
+			from = d.Pos.Line
+		}
+		if to < d.Pos.Line+1 {
+			to = d.Pos.Line + 1
+		}
+		for line := from; line <= to; line++ {
+			allowed[suppressionKey{d.Pos.Filename, line, d.Analyzer}] = true
+		}
 	}
 	kept := diags[:0]
 	for _, d := range diags {

@@ -138,3 +138,66 @@ func TestApplySuppressions(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectDirectivesStatementSpan pins the multi-line coverage fix: a
+// directive above (or inside) a statement that wraps across lines covers
+// the statement's whole line span, while a directive above a compound
+// statement keeps the minimal two-line window.
+func TestCollectDirectivesStatementSpan(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+func f(key []byte) {
+	//slicer:allow weakrand -- vector table, line 4
+	vectors := [][]byte{
+		[]byte("header"),
+		key,
+	}
+	_ = vectors
+	//slicer:allow errdrop -- loop below must keep per-line granularity
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+`)
+	dirs, diags := CollectDirectives(pkg, knownForTest)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	if d := dirs[0]; d.FromLine != 4 || d.ToLine != 8 {
+		t.Errorf("composite-literal directive spans [%d,%d], want [4,8]", d.FromLine, d.ToLine)
+	}
+	if d := dirs[1]; d.FromLine != 10 || d.ToLine != 11 {
+		t.Errorf("compound-statement directive spans [%d,%d], want the minimal [10,11]", d.FromLine, d.ToLine)
+	}
+}
+
+// TestApplySuppressionsSpan: every line of the widened span is covered for
+// the directive's analyzer, and nothing outside it.
+func TestApplySuppressionsSpan(t *testing.T) {
+	dir := Directive{
+		Analyzer: "wallclock",
+		Reason:   "r",
+		Pos:      token.Position{Filename: "f.go", Line: 10},
+		FromLine: 10,
+		ToLine:   14,
+	}
+	in := []Diagnostic{
+		diagAt("f.go", 10, "wallclock"),
+		diagAt("f.go", 13, "wallclock"), // inside the widened span
+		diagAt("f.go", 14, "wallclock"),
+		diagAt("f.go", 15, "wallclock"), // first line past the span
+		diagAt("f.go", 13, "errdrop"),   // other analyzer, same span
+	}
+	out := applySuppressions(in, []Directive{dir})
+	if len(out) != 2 {
+		t.Fatalf("got %d diagnostics after suppression, want 2: %v", len(out), out)
+	}
+	for _, d := range out {
+		if d.Analyzer == "wallclock" && d.Pos.Line <= 14 {
+			t.Errorf("in-span diagnostic survived: %v", d)
+		}
+	}
+}

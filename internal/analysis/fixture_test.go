@@ -83,6 +83,30 @@ func TestErrDropFixtures(t *testing.T) {
 	checkFixture(t, "errdrop/drops")
 }
 
+func TestSecretTaintFixtures(t *testing.T) {
+	// Crypto package: name- and type-based sources, sanitizers, big.Int
+	// blinding vs serialization, flow-sensitive joins, strong updates.
+	checkFixture(t, "secrettaint/prf")
+	// Outside the crypto perimeter: type-named sources, interprocedural
+	// summaries, closures, file modes, metric labels, audit records.
+	checkFixture(t, "secrettaint/vault")
+	// RPC trust boundary: response fields, literals, handler returns.
+	checkFixture(t, "secrettaint/wire")
+}
+
+func TestLockDisciplineFixtures(t *testing.T) {
+	// Guarded-field inference, imbalance, double-lock, RWMutex upgrade,
+	// unlock-of-unheld, and the caller-locked conventions.
+	checkFixture(t, "lockdiscipline/guarded")
+	// Lock-order inversions, direct and through callee lock summaries,
+	// including the journal-vs-state pair.
+	checkFixture(t, "lockdiscipline/order")
+}
+
+func TestAckOrderFixtures(t *testing.T) {
+	checkFixture(t, "ackorder/wire")
+}
+
 // TestFixtureExpectationsAreExercised guards the matcher itself: a
 // fixture whose want comment matches nothing must fail, and an
 // unexpected diagnostic must fail. Both are asserted by running the

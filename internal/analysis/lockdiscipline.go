@@ -1,0 +1,791 @@
+package analysis
+
+// lockdiscipline is the flow-sensitive lock checker. It runs a must/may
+// held-lock dataflow over each function's CFG and uses it three ways:
+//
+//  1. Guarded-field inference: fields of mutex-owning structs that the
+//     module writes under a held lock are inferred guarded; an unguarded
+//     write (or a read of a field with both locked reads and locked
+//     writes elsewhere) is reported. Methods whose name ends in "Locked"
+//     are exempt by convention (the caller holds the lock), as are
+//     unexported methods that never touch a lock themselves (assumed
+//     caller-locked helpers) and plain functions (constructors touch
+//     still-private memory).
+//
+//  2. Imbalance: a path that returns while a lock is must-held — with no
+//     deferred unlock covering it — is reported at the return, as are
+//     Unlock calls on locks not possibly held and second Locks of a lock
+//     already held on every path (self-deadlock, including read→write
+//     upgrades on the same RWMutex).
+//
+//  3. Ordering: every acquisition records (held, acquired) pairs at the
+//     type level, including locks acquired transitively through module
+//     callees (call-graph lock summaries). A pair observed in both
+//     orders is a potential deadlock cycle and is reported at both
+//     acquisition sites — the journal-mutex vs state-mutex ordering the
+//     durability layer depends on is the motivating case.
+//
+// Locks are tracked per instance inside a function (root object plus
+// field path), so two witness entries with the same mutex type do not
+// alias; cross-function reasoning uses conservative type-level identity.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockDiscipline reports unguarded accesses to inferred-guarded fields,
+// lock/unlock imbalance on any CFG path, and lock-order inversions.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "infers mutex-guarded field sets from existing locked accesses and " +
+		"reports unguarded reads/writes, Lock/Unlock imbalance on any CFG " +
+		"path, and lock-order inversions (including journal-vs-state mutex " +
+		"ordering)",
+	Run: runLockDiscipline,
+}
+
+const (
+	lockR uint8 = 1 << iota
+	lockW
+)
+
+// A lockKey identifies one mutex instance within a function: the root
+// object the access chain starts from plus the selector path ("mu",
+// "jour.mu").
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// lockFact tracks locks held on every path (must) and on some path (may).
+type lockFact struct {
+	must map[lockKey]uint8
+	may  map[lockKey]uint8
+}
+
+func newLockFact() lockFact {
+	return lockFact{must: map[lockKey]uint8{}, may: map[lockKey]uint8{}}
+}
+
+func (f lockFact) clone() lockFact {
+	out := newLockFact()
+	for k, v := range f.must {
+		out.must[k] = v
+	}
+	for k, v := range f.may {
+		out.may[k] = v
+	}
+	return out
+}
+
+// lockScan drives the dataflow for one function. Reporting and access
+// classification happen in a post-fixpoint replay (the must lattice
+// shrinks during iteration, so mid-iteration facts over-approximate).
+type lockScan struct {
+	pkg       *Package
+	fn        *FuncNode
+	recv      types.Object
+	deferKeys map[lockKey]uint8
+	locksInFn map[lockKey]bool
+	summaries map[*types.Func]map[string]bool
+
+	// Replay callbacks (nil during fixpoint iteration).
+	onAccess func(sel *ast.SelectorExpr, f *types.Var, write bool, fact lockFact)
+	onReport func(pos token.Pos, format string, args ...any)
+	onOrder  func(before, after string, pos token.Pos)
+}
+
+// Boundary implements FlowProblem.
+func (ls *lockScan) Boundary(*CFG) lockFact { return newLockFact() }
+
+// Transfer implements FlowProblem.
+func (ls *lockScan) Transfer(b *Block, in lockFact) lockFact {
+	fact := in.clone()
+	for _, n := range b.Nodes {
+		ls.applyNode(n, &fact, false)
+	}
+	return fact
+}
+
+// Merge implements FlowProblem: must intersects (weaker mode wins), may
+// unions (stronger mode wins).
+func (ls *lockScan) Merge(a, b lockFact) lockFact {
+	out := newLockFact()
+	for k, va := range a.must {
+		if vb, ok := b.must[k]; ok {
+			m := va & vb
+			if m == 0 {
+				m = lockR // held in different modes: at least a read hold
+			}
+			out.must[k] = m
+		}
+	}
+	for k, v := range a.may {
+		out.may[k] = v
+	}
+	for k, v := range b.may {
+		out.may[k] |= v
+	}
+	return out
+}
+
+// Equal implements FlowProblem.
+func (ls *lockScan) Equal(a, b lockFact) bool {
+	return lockMapEqual(a.must, b.must) && lockMapEqual(a.may, b.may)
+}
+
+func lockMapEqual(a, b map[lockKey]uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// replay walks the fixpoint facts through each block once, firing the
+// callbacks with the fact holding immediately before each node.
+func (ls *lockScan) replay(g *CFG, res FlowResult[lockFact]) {
+	for _, b := range g.Blocks {
+		in, ok := res.In[b]
+		if !ok {
+			continue
+		}
+		fact := in.clone()
+		for _, n := range b.Nodes {
+			ls.applyNode(n, &fact, true)
+		}
+	}
+}
+
+// applyNode evolves the fact over one block node; with callbacks set it
+// also classifies field accesses and reports violations.
+func (ls *lockScan) applyNode(n ast.Node, fact *lockFact, callbacks bool) {
+	switch n.(type) {
+	case *ast.DeferStmt:
+		// Deferred calls run at return, not here; collectDeferUnlocks
+		// credits their unlocks against the return check.
+		return
+	case *ast.GoStmt:
+		// The spawned goroutine's lock operations happen on another
+		// stack; they neither hold nor release anything here.
+		return
+	}
+	writes := map[*ast.SelectorExpr]bool{}
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range v.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+	case *ast.IncDecStmt:
+		if sel, ok := ast.Unparen(v.X).(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	skip := map[ast.Node]bool{}
+	blockExprs(n, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				// Address-of escapes the analysis; don't classify.
+				if sel, ok := ast.Unparen(v.X).(*ast.SelectorExpr); ok {
+					skip[sel] = true
+				}
+			}
+		case *ast.CallExpr:
+			ls.applyCall(v, fact, callbacks)
+			// Don't classify the selector naming the method itself.
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				skip[sel] = true
+			}
+		case *ast.SelectorExpr:
+			if callbacks && !skip[v] {
+				ls.classifyAccess(v, writes[v], *fact)
+			}
+		case *ast.ReturnStmt:
+			if callbacks {
+				ls.checkReturn(v, *fact)
+			}
+		}
+		return true
+	})
+}
+
+// checkReturn reports locks still must-held at an explicit return that no
+// deferred unlock covers.
+func (ls *lockScan) checkReturn(r *ast.ReturnStmt, fact lockFact) {
+	if ls.onReport == nil {
+		return
+	}
+	var held []string
+	for k := range fact.must {
+		if ls.deferKeys[k] != 0 {
+			continue
+		}
+		held = append(held, lockKeyString(k))
+	}
+	sort.Strings(held)
+	for _, name := range held {
+		ls.onReport(r.Pos(), "returns while still holding %s (no unlock or deferred unlock on this path)", name)
+	}
+}
+
+// applyCall updates the held-lock fact for mutex operations and records
+// ordering pairs for acquisitions (direct and through module callees).
+func (ls *lockScan) applyCall(call *ast.CallExpr, fact *lockFact, callbacks bool) {
+	fn := calleeFunc(ls.pkg.Info, call)
+	if key, op, ok := ls.mutexOp(call, fn); ok {
+		mode := lockW
+		if strings.HasPrefix(op, "R") || strings.HasPrefix(op, "TryR") {
+			mode = lockR
+		}
+		switch op {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if callbacks {
+				if held := fact.must[key]; held != 0 {
+					if mode == lockW && held&lockW != 0 && ls.onReport != nil {
+						ls.onReport(call.Pos(), "Lock of %s while it is already write-held on every path here (self-deadlock)", lockKeyString(key))
+					} else if mode == lockW && held&lockR != 0 && ls.onReport != nil {
+						ls.onReport(call.Pos(), "write-Lock of %s while it is read-held (RWMutex upgrade deadlocks)", lockKeyString(key))
+					}
+				}
+				if ls.onOrder != nil {
+					newID := ls.lockTypeID(key)
+					for h := range fact.must {
+						if id := ls.lockTypeID(h); id != newID {
+							ls.onOrder(id, newID, call.Pos())
+						}
+					}
+				}
+			}
+			fact.must[key] |= mode
+			fact.may[key] |= mode
+		case "Unlock", "RUnlock":
+			// Only flag unlock-of-unheld when this function also locks the
+			// same key somewhere — hand-off patterns (unlocking a lock the
+			// caller acquired) are a caller-side contract, not a bug here.
+			if callbacks && fact.may[key] == 0 && ls.locksInFn[key] && ls.onReport != nil {
+				ls.onReport(call.Pos(), "%s of %s which is not held on any path reaching here", op, lockKeyString(key))
+			}
+			delete(fact.must, key)
+			delete(fact.may, key)
+		}
+		return
+	}
+	// Module callee: record ordering pairs against its lock summary.
+	if callbacks && ls.onOrder != nil && fn != nil && ls.summaries != nil && len(fact.must) > 0 {
+		if acq, ok := ls.summaries[fn]; ok {
+			for h := range fact.must {
+				hid := ls.lockTypeID(h)
+				for id := range acq {
+					if id != hid {
+						ls.onOrder(hid, id, call.Pos())
+					}
+				}
+			}
+		}
+	}
+}
+
+// mutexOp recognizes x.mu.Lock()-style calls: any Lock/Unlock/RLock/
+// RUnlock/TryLock/TryRLock method provided by package sync (directly or
+// through embedding), keyed by the access chain.
+func (ls *lockScan) mutexOp(call *ast.CallExpr, fn *types.Func) (lockKey, string, bool) {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockKey{}, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return lockKey{}, "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	key, ok := ls.exprLockKey(sel.X)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	return key, fn.Name(), true
+}
+
+// exprLockKey canonicalizes the expression a mutex method was called on
+// into (root object, field path).
+func (ls *lockScan) exprLockKey(e ast.Expr) (lockKey, bool) {
+	var parts []string
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := ls.pkg.Info.Uses[v]
+			if obj == nil {
+				obj = ls.pkg.Info.Defs[v]
+			}
+			if obj == nil {
+				return lockKey{}, false
+			}
+			// Reverse the collected path.
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return lockKey{root: obj, path: strings.Join(parts, ".")}, true
+		case *ast.SelectorExpr:
+			parts = append(parts, v.Sel.Name)
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return lockKey{}, false
+		}
+	}
+}
+
+// lockTypeID names a lock across functions: the owning named type (or
+// package, for package-level mutexes) plus the field path.
+func (ls *lockScan) lockTypeID(k lockKey) string {
+	suffix := ""
+	if k.path != "" {
+		suffix = "." + k.path
+	}
+	obj := k.root
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return pkgBase(obj.Pkg().Path()) + "." + obj.Name() + suffix
+	}
+	if names := namedTypeNames(obj.Type()); len(names) > 0 {
+		return names[0] + suffix
+	}
+	return obj.Name() + suffix
+}
+
+func lockKeyString(k lockKey) string {
+	if k.path == "" {
+		return k.root.Name()
+	}
+	return k.root.Name() + "." + k.path
+}
+
+// classifyAccess hands direct receiver-field accesses to the collector.
+func (ls *lockScan) classifyAccess(sel *ast.SelectorExpr, write bool, fact lockFact) {
+	if ls.onAccess == nil || ls.recv == nil {
+		return
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || ls.objOf(base) != ls.recv {
+		return
+	}
+	s, ok := ls.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	f, ok := s.Obj().(*types.Var)
+	if !ok || excludedGuardField(f) {
+		return
+	}
+	ls.onAccess(sel, f, write, fact)
+}
+
+func (ls *lockScan) objOf(id *ast.Ident) types.Object {
+	if obj := ls.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return ls.pkg.Info.Defs[id]
+}
+
+// heldOnRecv reports whether any receiver-rooted lock is must-held in the
+// needed mode (writes need the write lock; reads accept either).
+func (ls *lockScan) heldOnRecv(fact lockFact, write bool) bool {
+	for k, mode := range fact.must {
+		if k.root != ls.recv {
+			continue
+		}
+		if !write || mode&lockW != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// excludedGuardField filters fields that synchronize themselves or are
+// synchronization primitives.
+func excludedGuardField(f *types.Var) bool {
+	t := f.Type()
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	for _, obj := range typeObjChain(t) {
+		if obj.Pkg() == nil {
+			continue
+		}
+		switch obj.Pkg().Path() {
+		case "sync", "sync/atomic":
+			return true
+		}
+	}
+	return false
+}
+
+// typeObjChain collects the named-type objects along t's definition chain.
+func typeObjChain(t types.Type) []*types.TypeName {
+	var out []*types.TypeName
+	for depth := 0; t != nil && depth < 8; depth++ {
+		switch v := t.(type) {
+		case *types.Alias:
+			out = append(out, v.Obj())
+			t = types.Unalias(v)
+		case *types.Named:
+			out = append(out, v.Obj())
+			t = v.Underlying()
+		case *types.Pointer:
+			t = v.Elem()
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// collectDeferUnlocks gathers the lock keys unlocked by the function's
+// defer statements (including defers wrapping the unlock in a literal).
+func (ls *lockScan) collectDeferUnlocks(g *CFG) map[lockKey]uint8 {
+	out := map[lockKey]uint8{}
+	record := func(call *ast.CallExpr) {
+		fn := calleeFunc(ls.pkg.Info, call)
+		if key, op, ok := ls.mutexOp(call, fn); ok && (op == "Unlock" || op == "RUnlock") {
+			out[key] |= lockW | lockR
+		}
+	}
+	for _, d := range g.Defers {
+		record(d.Call)
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					record(c)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// lockAware reports whether violations should be flagged inside fn:
+// exported methods, and unexported methods that manipulate a receiver
+// lock themselves. Unexported lock-free helpers are assumed to run under
+// the caller's lock.
+func lockAware(ls *lockScan) bool {
+	name := ls.fn.Fn.Name()
+	if strings.HasSuffix(name, "Locked") {
+		return false
+	}
+	if ast.IsExported(name) {
+		return true
+	}
+	aware := false
+	ast.Inspect(ls.fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(ls.pkg.Info, call)
+		if key, _, ok := ls.mutexOp(call, fn); ok && key.root == ls.recv {
+			aware = true
+		}
+		return true
+	})
+	return aware
+}
+
+// guardStats aggregates the module-wide evidence for one struct field.
+type guardStats struct {
+	lockedW, unlockedW int
+	lockedR, unlockedR int
+	guard              string
+}
+
+// lockSummaries computes, per function, the type-level lock IDs it may
+// acquire directly or through module callees (function literals excluded:
+// they may run on other goroutines).
+func lockSummaries(prog *Program) map[*types.Func]map[string]bool {
+	return prog.Cached("lockdiscipline.summaries", func() any {
+		sums := make(map[*types.Func]map[string]bool)
+		// Exits early once a round adds nothing; the cap only bounds
+		// pathological call chains.
+		for round := 0; round < 16; round++ {
+			changed := false
+			for _, pkg := range prog.Pkgs {
+				for _, node := range prog.Funcs(pkg) {
+					if node.Decl.Body == nil {
+						continue
+					}
+					ls := &lockScan{pkg: node.Pkg, fn: node}
+					acq := map[string]bool{}
+					ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+						if _, ok := n.(*ast.FuncLit); ok {
+							return false
+						}
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						fn := calleeFunc(node.Pkg.Info, call)
+						if key, op, ok := ls.mutexOp(call, fn); ok {
+							if op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock" {
+								acq[ls.lockTypeID(key)] = true
+							}
+							return true
+						}
+						if fn != nil {
+							for id := range sums[fn] {
+								acq[id] = true
+							}
+						}
+						return true
+					})
+					prev, had := sums[node.Fn]
+					same := had && len(prev) == len(acq)
+					if same {
+						for id := range acq {
+							if !prev[id] {
+								same = false
+								break
+							}
+						}
+					}
+					if !same {
+						sums[node.Fn] = acq
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		return sums
+	}).(map[*types.Func]map[string]bool)
+}
+
+func newLockScan(prog *Program, node *FuncNode, sums map[*types.Func]map[string]bool) (*lockScan, *CFG) {
+	g := node.CFG()
+	if g == nil {
+		return nil, nil
+	}
+	ls := &lockScan{pkg: node.Pkg, fn: node, summaries: sums}
+	if sig, ok := node.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		ls.recv = sig.Recv()
+	}
+	ls.deferKeys = ls.collectDeferUnlocks(g)
+	ls.locksInFn = map[lockKey]bool{}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, op, ok := ls.mutexOp(call, calleeFunc(node.Pkg.Info, call)); ok {
+			switch op {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				ls.locksInFn[key] = true
+			}
+		}
+		return true
+	})
+	return ls, g
+}
+
+// guardedFields runs the module-wide inference pass once per Program.
+func guardedFields(prog *Program) map[*types.Var]*guardStats {
+	return prog.Cached("lockdiscipline.guarded", func() any {
+		sums := lockSummaries(prog)
+		stats := make(map[*types.Var]*guardStats)
+		for _, pkg := range prog.Pkgs {
+			for _, node := range prog.Funcs(pkg) {
+				ls, g := newLockScan(prog, node, sums)
+				if ls == nil || ls.recv == nil {
+					continue
+				}
+				name := node.Fn.Name()
+				lockedByConvention := strings.HasSuffix(name, "Locked")
+				if !lockedByConvention && !lockAware(ls) {
+					continue // caller-locked helper: no evidence either way
+				}
+				res := Forward(g, FlowProblem[lockFact](ls))
+				ls.onAccess = func(sel *ast.SelectorExpr, f *types.Var, write bool, fact lockFact) {
+					st := stats[f]
+					if st == nil {
+						st = &guardStats{}
+						stats[f] = st
+					}
+					locked := lockedByConvention || ls.heldOnRecv(fact, write)
+					switch {
+					case write && locked:
+						st.lockedW++
+					case write:
+						st.unlockedW++
+					case locked:
+						st.lockedR++
+					default:
+						st.unlockedR++
+					}
+					if locked && st.guard == "" {
+						for k := range fact.must {
+							if k.root == ls.recv {
+								st.guard = ls.lockTypeID(k)
+								break
+							}
+						}
+						if st.guard == "" && lockedByConvention {
+							st.guard = "the receiver's lock"
+						}
+					}
+				}
+				ls.replay(g, res)
+				ls.onAccess = nil
+			}
+		}
+		return stats
+	}).(map[*types.Var]*guardStats)
+}
+
+func runLockDiscipline(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		prog = NewProgram([]*Package{pass.Pkg})
+	}
+	sums := lockSummaries(prog)
+	stats := guardedFields(prog)
+	orders := lockOrders(prog)
+
+	// Per-package flagging: guarded-field accesses and imbalance.
+	for _, node := range prog.Funcs(pass.Pkg) {
+		ls, g := newLockScan(prog, node, sums)
+		if ls == nil {
+			continue
+		}
+		if strings.HasSuffix(node.Fn.Name(), "Locked") {
+			continue
+		}
+		aware := ls.recv != nil && lockAware(ls)
+		res := Forward(g, FlowProblem[lockFact](ls))
+		reported := make(map[string]bool)
+		ls.onReport = func(pos token.Pos, format string, args ...any) {
+			key := fmt.Sprintf("%d|%s", pos, fmt.Sprintf(format, args...))
+			if reported[key] {
+				return
+			}
+			reported[key] = true
+			pass.Reportf(pos, format, args...)
+		}
+		if aware {
+			ls.onAccess = func(sel *ast.SelectorExpr, f *types.Var, write bool, fact lockFact) {
+				st := stats[f]
+				if st == nil {
+					return
+				}
+				if write && !ls.heldOnRecv(fact, true) && st.lockedW > 0 {
+					ls.onReport(sel.Pos(), "write to %s without holding %s (field is written under it elsewhere)", f.Name(), st.guardName())
+				}
+				if !write && !ls.heldOnRecv(fact, false) && st.lockedR > 0 && st.lockedW > 0 {
+					ls.onReport(sel.Pos(), "read of %s without holding %s (field has locked readers and writers elsewhere)", f.Name(), st.guardName())
+				}
+			}
+		}
+		ls.replay(g, res)
+	}
+
+	// Ordering inversions whose witness sites lie in this package.
+	for _, inv := range orders {
+		if inv.pkgPath != pass.Pkg.PkgPath {
+			continue
+		}
+		pass.Reportf(inv.pos, "%s", inv.msg)
+	}
+}
+
+func (st *guardStats) guardName() string {
+	if st.guard != "" {
+		return st.guard
+	}
+	return "the guarding mutex"
+}
+
+// lockInversion is one reported ordering violation, pinned to a package
+// so each analyzer pass reports only its own files.
+type lockInversion struct {
+	pkgPath string
+	pos     token.Pos
+	msg     string
+}
+
+type orderSite struct {
+	pos     token.Pos
+	pkgPath string
+}
+
+// lockOrders records every (held, acquired) type-level pair module-wide
+// and reports pairs seen in both orders.
+func lockOrders(prog *Program) []lockInversion {
+	return prog.Cached("lockdiscipline.orders", func() any {
+		sums := lockSummaries(prog)
+		pairs := make(map[[2]string][]orderSite)
+		for _, pkg := range prog.Pkgs {
+			for _, node := range prog.Funcs(pkg) {
+				ls, g := newLockScan(prog, node, sums)
+				if ls == nil {
+					continue
+				}
+				res := Forward(g, FlowProblem[lockFact](ls))
+				pkgPath := pkg.PkgPath
+				ls.onOrder = func(before, after string, pos token.Pos) {
+					key := [2]string{before, after}
+					pairs[key] = append(pairs[key], orderSite{pos: pos, pkgPath: pkgPath})
+				}
+				ls.replay(g, res)
+			}
+		}
+		var out []lockInversion
+		seen := make(map[[2]string]bool)
+		for key := range pairs {
+			rev := [2]string{key[1], key[0]}
+			if _, ok := pairs[rev]; !ok || seen[key] || seen[rev] {
+				continue
+			}
+			seen[key], seen[rev] = true, true
+			note := ""
+			if isJournalLock(key[0]) || isJournalLock(key[1]) {
+				note = "; the durability contract orders the journal mutex against state mutexes one way only"
+			}
+			for _, dir := range [][2]string{key, rev} {
+				ss := pairs[dir]
+				sort.Slice(ss, func(i, j int) bool { return ss[i].pos < ss[j].pos })
+				s := ss[0]
+				out = append(out, lockInversion{
+					pkgPath: s.pkgPath,
+					pos:     s.pos,
+					msg: fmt.Sprintf("lock order inversion: %s acquired while holding %s here, but the opposite order exists elsewhere (potential deadlock)%s",
+						dir[1], dir[0], note),
+				})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+		return out
+	}).([]lockInversion)
+}
+
+// isJournalLock recognizes the durability journal's mutex in a type-level
+// lock ID.
+func isJournalLock(id string) bool {
+	lower := strings.ToLower(id)
+	return strings.Contains(lower, "journal") || strings.Contains(lower, "jour.")
+}

@@ -9,10 +9,17 @@ import (
 // suppressions, folds in directive-hygiene diagnostics and returns the
 // surviving findings in deterministic order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// Directive names are validated against the full registry, not just
+	// this run's subset: an in-test gate that runs two analyzers must not
+	// reject a //slicer:allow aimed at a third.
 	known := make(map[string]bool, len(analyzers))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	prog := NewProgram(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		if pkg == nil {
@@ -21,7 +28,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		dirs, dirDiags := CollectDirectives(pkg, known)
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
 			a.Run(pass)
 			raw = append(raw, pass.diags...)
 		}

@@ -1,0 +1,155 @@
+package analysis
+
+// SARIF 2.1.0 rendering of a slicer-vet run, hand-rolled against the
+// subset of the schema code-scanning UIs consume: one run, one rule per
+// analyzer, one result per diagnostic with a physical location. Kept
+// dependency-free like the rest of the framework.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultConfig    *sarifConfig `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the run as a SARIF 2.1.0 log. Every registered
+// analyzer appears as a rule even when it reported nothing, so consumers
+// can tell "ran clean" from "did not run"; diagnostics map to results
+// whose level is error for hard (unsuppressable) findings and warning
+// otherwise. File URIs are slash-separated and expected to be
+// module-relative (the caller relativizes).
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic) error {
+	ruleIndex := make(map[string]int, len(analyzers)+1)
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	addRule := func(id, doc, level string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: doc},
+			DefaultConfig:    &sarifConfig{Level: level},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc, "warning")
+	}
+	addRule(DirectiveAnalyzer, "malformed //slicer:allow suppression directives", "warning")
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		// A diagnostic from an analyzer outside the registered set (a
+		// caller-assembled run) still needs a rule to point at.
+		addRule(d.Analyzer, "", "warning")
+		level := "warning"
+		if d.Hard {
+			level = "error"
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     level,
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI: filepath.ToSlash(d.Pos.Filename),
+					},
+					Region: sarifRegion{
+						StartLine:   max(d.Pos.Line, 1),
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "slicer-vet",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifString is a test hook: the rendered log as a string.
+func sarifString(analyzers []*Analyzer, diags []Diagnostic) (string, error) {
+	var sb strings.Builder
+	err := WriteSARIF(&sb, analyzers, diags)
+	return sb.String(), err
+}

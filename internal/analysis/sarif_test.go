@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestWriteSARIF round-trips the rendered log through encoding/json and
+// checks the pieces code-scanning consumers rely on: version, one rule per
+// analyzer, rule-indexed results, severity mapping and slash URIs.
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "secrettaint",
+			Pos:      token.Position{Filename: "internal/prf/prf.go", Line: 12, Column: 3},
+			Message:  "secret-derived value reaches log sink",
+		},
+		{
+			Analyzer: "ctcompare",
+			Pos:      token.Position{Filename: "internal/prf/prf.go", Line: 30, Column: 5},
+			Message:  "non-constant-time comparison",
+			Hard:     true,
+		},
+	}
+	out, err := sarifString(All(), diags)
+	if err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("rendered SARIF does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "slicer-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every analyzer is a rule even on a clean run, plus the directive
+	// pseudo-analyzer.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	ruleIDs := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" {
+			t.Errorf("rule %d has empty id", i)
+		}
+		ruleIDs[r.ID] = i
+	}
+	for _, a := range All() {
+		if _, ok := ruleIDs[a.Name]; !ok {
+			t.Errorf("analyzer %s missing from rules", a.Name)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	soft, hard := run.Results[0], run.Results[1]
+	if soft.Level != "warning" || hard.Level != "error" {
+		t.Errorf("levels = (%s, %s), want (warning, error)", soft.Level, hard.Level)
+	}
+	for _, r := range run.Results {
+		if ruleIDs[r.RuleID] != r.RuleIndex {
+			t.Errorf("result %s: ruleIndex %d does not match rule table position %d",
+				r.RuleID, r.RuleIndex, ruleIDs[r.RuleID])
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %s: %d locations", r.RuleID, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != "internal/prf/prf.go" {
+			t.Errorf("uri = %q, want slash-separated relative path", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Error("startLine missing")
+		}
+	}
+	// A clean run still renders (empty results array, not null).
+	clean, err := sarifString(All(), nil)
+	if err != nil {
+		t.Fatalf("clean WriteSARIF: %v", err)
+	}
+	var cleanLog struct {
+		Runs []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(clean), &cleanLog); err != nil {
+		t.Fatal(err)
+	}
+	if cleanLog.Runs[0].Results == nil {
+		t.Error("clean run rendered results as null; want []")
+	}
+}

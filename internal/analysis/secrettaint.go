@@ -1,0 +1,1048 @@
+package analysis
+
+// secrettaint is the flow-sensitive secret-leak analyzer. It tracks key
+// material through each function's CFG with the dataflow framework, and
+// through helper calls with module-wide call-graph summaries, reporting
+// when a secret-derived value reaches an observable sink: logging, error
+// formatting, metric label values, audit record bodies, RPC response
+// payloads, or world-readable file writes.
+//
+// Sources. A value is secret when its type names key material
+// (trapdoor.SecretKey, prf.Key, symenc.Key/Cipher, accumulator.Params —
+// any type whose name contains "Secret" but not "Public"), or when, inside
+// one of Slicer's crypto packages, a field or parameter of byte-sequence
+// or big-integer shape carries a key-material name (k, sk, d, phi, priv,
+// *key*, *secret*).
+//
+// Sanitizers. Hashing or ciphering a secret launders it: results of
+// crypto/sha256, sha512, hmac, subtle, aes, cipher and rand calls are
+// clean, as is anything produced by modular big-integer arithmetic (Exp,
+// Mod, Mul, ...) — Slicer's trapdoor and accumulator outputs are
+// algebraically blinded, so only big.Int serialization (Bytes, String,
+// Text, ...) of a directly-secret value keeps its taint. A finding that is
+// intentional can be annotated //slicer:allow secrettaint -- <reason>.
+//
+// Soundness limits (documented in DESIGN.md): taint is tracked per object,
+// not per struct field instance; function literals are scanned with the
+// facts at their creation point only when analyzing the enclosing function
+// directly; reflection and interface dispatch are not followed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// SecretTaint reports secret key material flowing to observable sinks.
+var SecretTaint = &Analyzer{
+	Name: "secrettaint",
+	Doc: "reports key material (PRF keys, trapdoor secret keys, accumulator " +
+		"trapdoors, symmetric keys) flowing to logs, error values, metric " +
+		"labels, audit records, RPC responses or world-readable files",
+	Run: runSecretTaint,
+}
+
+// taintBitSecret is the BitSet bit meaning "derived from an actual secret";
+// bit i+1 means "derived from parameter slot i" (receiver first).
+const taintBitSecret = 0
+
+// secretFieldNameRe matches field/parameter names that denote key material
+// inside crypto packages. "keyword" is the SSE term for a public searchable
+// token, so it is excluded explicitly.
+var secretFieldNameRe = regexp.MustCompile(`(?i)^(k|sk|d|phi|priv)$|secret|key`)
+
+// isSecretTypeName reports whether a named type declared in package base
+// pkgB is a secret-material container.
+func isSecretTypeName(pkgB, name string) bool {
+	if strings.Contains(name, "Public") {
+		return false
+	}
+	if strings.Contains(name, "Secret") {
+		return true
+	}
+	switch {
+	case name == "Key" && (pkgB == "prf" || pkgB == "symenc"):
+		return true
+	case name == "Cipher" && pkgB == "symenc":
+		return true
+	case name == "Params" && pkgB == "accumulator":
+		return true
+	}
+	return false
+}
+
+// typeIsSecret walks t's named-type chain (through pointers, slices and
+// arrays) looking for a secret-material type name.
+func typeIsSecret(t types.Type) bool {
+	for depth := 0; t != nil && depth < 8; depth++ {
+		switch v := t.(type) {
+		case *types.Alias:
+			obj := v.Obj()
+			if obj != nil && isSecretTypeName(objPkgBase(obj), obj.Name()) {
+				return true
+			}
+			t = types.Unalias(v)
+		case *types.Named:
+			obj := v.Obj()
+			if obj != nil && isSecretTypeName(objPkgBase(obj), obj.Name()) {
+				return true
+			}
+			t = v.Underlying()
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Slice:
+			t = v.Elem()
+		case *types.Array:
+			t = v.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func objPkgBase(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return pkgBase(obj.Pkg().Path())
+}
+
+// secretCarrier reports whether t is a shape key material travels in:
+// byte sequences and big integers.
+func secretCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isByteSequence(t) {
+		return true
+	}
+	for _, n := range namedTypeNames(t) {
+		if n == "Int" {
+			return true
+		}
+	}
+	return false
+}
+
+// secretNamedVar reports whether a field or parameter declared inside a
+// crypto package carries a key-material name and shape.
+func secretNamedVar(v *types.Var) bool {
+	if v == nil || v.Pkg() == nil || !CryptoPackages[pkgBase(v.Pkg().Path())] {
+		return false
+	}
+	name := strings.ToLower(v.Name())
+	if strings.Contains(name, "keyword") {
+		return false
+	}
+	return secretFieldNameRe.MatchString(v.Name()) && secretCarrier(v.Type())
+}
+
+// taintState maps in-scope objects (locals, parameters, and field objects
+// written in this function) to their taint label sets. Only objects with
+// non-empty taint are stored.
+type taintState map[types.Object]*BitSet
+
+func cloneTaint(st taintState) taintState {
+	out := make(taintState, len(st))
+	for k, v := range st {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// taintSummary is the interprocedural abstract of one function: which
+// parameter slots flow to a return value, whether results are secret
+// regardless of inputs (the function reads a source internally), and which
+// slots reach a sink inside the function (with the sink's kind).
+type taintSummary struct {
+	flows        []bool
+	sinks        []string
+	resultSecret bool
+}
+
+func (s *taintSummary) equal(o *taintSummary) bool {
+	if o == nil {
+		return false
+	}
+	if s.resultSecret != o.resultSecret || len(s.flows) != len(o.flows) || len(s.sinks) != len(o.sinks) {
+		return false
+	}
+	for i := range s.flows {
+		if s.flows[i] != o.flows[i] {
+			return false
+		}
+	}
+	for i := range s.sinks {
+		if s.sinks[i] != o.sinks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// taintScan runs the taint dataflow over one function. With emit set it
+// reports sink hits; otherwise it collects the function's summary.
+type taintScan struct {
+	prog      *Program
+	pkg       *Package
+	fn        *FuncNode
+	slots     []*types.Var
+	summaries map[*types.Func]*taintSummary
+
+	// seedSecrets marks key-material parameters as secret at entry
+	// (report mode); summary mode seeds parameter bits only.
+	seedSecrets bool
+	emit        func(pos token.Pos, format string, args ...any)
+
+	// entry overrides the boundary fact (function-literal scans start
+	// from the facts captured at the literal's creation point).
+	entry taintState
+
+	// Summary collection (monotone across fixpoint iterations).
+	sinkHits  *BitSet
+	sinkKinds map[int]string
+	retTaint  *BitSet
+}
+
+// Boundary implements FlowProblem.
+func (ts *taintScan) Boundary(*CFG) taintState {
+	st := make(taintState)
+	if ts.entry != nil {
+		return cloneTaint(ts.entry)
+	}
+	for i, v := range ts.slots {
+		t := NewBitSet(len(ts.slots) + 1)
+		t.Set(i + 1)
+		if ts.seedSecrets && ts.slotSecret(v) {
+			t.Set(taintBitSecret)
+		}
+		st[v] = t
+	}
+	return st
+}
+
+// slotSecret reports whether a parameter is a taint source by itself:
+// secret-typed anywhere, or key-material-named inside a crypto package.
+func (ts *taintScan) slotSecret(v *types.Var) bool {
+	return typeIsSecret(v.Type()) || secretNamedVar(v)
+}
+
+// Transfer implements FlowProblem.
+func (ts *taintScan) Transfer(b *Block, in taintState) taintState {
+	st := cloneTaint(in)
+	for _, n := range b.Nodes {
+		ts.step(n, st)
+	}
+	return st
+}
+
+// Merge implements FlowProblem (per-object union).
+func (ts *taintScan) Merge(a, b taintState) taintState {
+	out := cloneTaint(a)
+	for k, v := range b {
+		if have, ok := out[k]; ok {
+			have.Union(v)
+		} else {
+			out[k] = v.Clone()
+		}
+	}
+	return out
+}
+
+// Equal implements FlowProblem.
+func (ts *taintScan) Equal(a, b taintState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		o, ok := b[k]
+		if !ok || !v.Equal(o) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ts *taintScan) step(n ast.Node, st taintState) {
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		ts.stepAssign(v, st)
+	case *ast.DeclStmt:
+		gd, ok := v.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			ts.stepValueSpec(vs, st)
+		}
+	case *ast.RangeStmt:
+		t := ts.eval(v.X, st)
+		ts.bind(v.Key, t, st)
+		ts.bind(v.Value, t, st)
+	case *ast.ReturnStmt:
+		ts.stepReturn(v, st)
+	case *ast.ExprStmt:
+		ts.eval(v.X, st)
+	case *ast.IncDecStmt:
+		ts.eval(v.X, st)
+	case *ast.SendStmt:
+		ts.eval(v.Chan, st)
+		ts.eval(v.Value, st)
+	case *ast.GoStmt:
+		ts.eval(v.Call, st)
+	case *ast.DeferStmt:
+		ts.eval(v.Call, st)
+	case ast.Expr:
+		ts.eval(v, st)
+	}
+}
+
+func (ts *taintScan) stepValueSpec(vs *ast.ValueSpec, st taintState) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		t := ts.eval(vs.Values[0], st)
+		for _, name := range vs.Names {
+			ts.bind(name, t, st)
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if i < len(vs.Values) {
+			ts.bind(name, ts.eval(vs.Values[i], st), st)
+		}
+	}
+}
+
+func (ts *taintScan) stepAssign(a *ast.AssignStmt, st taintState) {
+	// Multi-value: x, err := f().
+	if len(a.Lhs) > 1 && len(a.Rhs) == 1 {
+		t := ts.eval(a.Rhs[0], st)
+		for _, lhs := range a.Lhs {
+			ts.bind(lhs, t, st)
+		}
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if i >= len(a.Rhs) {
+			break
+		}
+		t := ts.eval(a.Rhs[i], st)
+		if a.Tok != token.ASSIGN && a.Tok != token.DEFINE {
+			// Compound assignment keeps the old taint.
+			t = t.Clone()
+			t.Union(ts.eval(lhs, st))
+		}
+		ts.bind(lhs, t, st)
+	}
+}
+
+// bind records the taint flowing into an assignment target, checking the
+// wire.Response sink on field targets.
+func (ts *taintScan) bind(lhs ast.Expr, t *BitSet, st taintState) {
+	if lhs == nil {
+		return
+	}
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v.Name == "_" {
+			return
+		}
+		obj := ts.objOf(v)
+		if obj == nil {
+			return
+		}
+		if isErrorType(obj.Type()) {
+			// Error results of multi-value calls stay clean; the
+			// error-formatting sink catches the leak at its source.
+			delete(st, obj)
+			return
+		}
+		if t.Count() == 0 {
+			delete(st, obj) // strong update
+			return
+		}
+		st[obj] = t.Clone()
+	case *ast.SelectorExpr:
+		if sel, ok := ts.pkg.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			ts.checkResponseField(v, t)
+			if f, ok := sel.Obj().(*types.Var); ok && t.Count() > 0 {
+				ts.taintObj(f, t, st)
+			}
+			return
+		}
+		// Qualified package-level var.
+		if obj := ts.objOf(v.Sel); obj != nil && t.Count() > 0 {
+			ts.taintObj(obj, t, st)
+		}
+	case *ast.StarExpr, *ast.IndexExpr, *ast.SliceExpr:
+		// Writing through a pointer, index or slice taints the base
+		// object (weak update).
+		if base := rootIdent(v); base != nil && t.Count() > 0 {
+			if obj := ts.objOf(base); obj != nil {
+				ts.taintObj(obj, t, st)
+			}
+		}
+	}
+}
+
+func (ts *taintScan) taintObj(obj types.Object, t *BitSet, st taintState) {
+	if have, ok := st[obj]; ok {
+		have.Union(t)
+		return
+	}
+	st[obj] = t.Clone()
+}
+
+// checkResponseField reports a secret assigned into a wire response
+// payload field (the response-payload sink; wire packages only).
+func (ts *taintScan) checkResponseField(sel *ast.SelectorExpr, t *BitSet) {
+	if ts.emit == nil || !t.Has(taintBitSecret) || pkgBase(ts.pkg.PkgPath) != "wire" {
+		return
+	}
+	if tv, ok := ts.pkg.Info.Types[sel.X]; ok {
+		for _, name := range namedTypeNames(tv.Type) {
+			if strings.Contains(name, "Response") {
+				ts.emit(sel.Pos(), "secret-derived value assigned to RPC response field %s; responses cross the trust boundary", sel.Sel.Name)
+				return
+			}
+		}
+	}
+}
+
+// checkResponseLit reports a secret element inside a wire response
+// composite literal.
+func (ts *taintScan) checkResponseLit(lit *ast.CompositeLit, elt ast.Expr, t *BitSet) {
+	if ts.emit == nil || !t.Has(taintBitSecret) || pkgBase(ts.pkg.PkgPath) != "wire" {
+		return
+	}
+	tv, ok := ts.pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	for _, name := range namedTypeNames(tv.Type) {
+		if strings.Contains(name, "Response") {
+			ts.emit(elt.Pos(), "secret-derived value placed in RPC response literal; responses cross the trust boundary")
+			return
+		}
+	}
+}
+
+func (ts *taintScan) stepReturn(r *ast.ReturnStmt, st taintState) {
+	for i, res := range r.Results {
+		t := ts.eval(res, st)
+		if ts.retTaint != nil {
+			ts.retTaint.Union(t)
+		}
+		if ts.emit != nil && i == 0 && t.Has(taintBitSecret) &&
+			pkgBase(ts.pkg.PkgPath) == "wire" && ts.fn != nil &&
+			strings.HasPrefix(ts.fn.Fn.Name(), "handle") {
+			ts.emit(res.Pos(), "secret-derived value returned as RPC response payload from %s", ts.fn.Fn.Name())
+		}
+	}
+}
+
+// eval computes an expression's taint. Any expression of secret type is a
+// source by itself.
+func (ts *taintScan) eval(e ast.Expr, st taintState) *BitSet {
+	t := ts.evalInner(e, st)
+	if tv, ok := ts.pkg.Info.Types[e]; ok && tv.Type != nil && !tv.IsType() && typeIsSecret(tv.Type) {
+		t.Set(taintBitSecret)
+	}
+	return t
+}
+
+func (ts *taintScan) evalInner(e ast.Expr, st taintState) *BitSet {
+	empty := NewBitSet(0)
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := ts.objOf(v)
+		if obj == nil {
+			return empty
+		}
+		t := NewBitSet(0)
+		if have, ok := st[obj]; ok {
+			t.Union(have)
+		}
+		if f, ok := obj.(*types.Var); ok && secretNamedVar(f) && f.IsField() {
+			// Unqualified field read inside a method (rare; selector
+			// form is the common path).
+			t.Set(taintBitSecret)
+		}
+		return t
+	case *ast.SelectorExpr:
+		if sel, ok := ts.pkg.Info.Selections[v]; ok {
+			if sel.Kind() != types.FieldVal {
+				return empty // method value; handled at the call
+			}
+			// Fields of a secret-typed container inherit its taint (the
+			// fields of a SecretKey are the secret). Aggregates that
+			// merely hold a secret field do not spread it to their other
+			// fields: reading the secret field itself is caught by the
+			// field's own type and name rules below.
+			var t *BitSet
+			if tv, ok := ts.pkg.Info.Types[v.X]; ok && typeIsSecret(tv.Type) {
+				t = ts.eval(v.X, st).Clone()
+			} else {
+				t = empty.Clone()
+			}
+			if f, ok := sel.Obj().(*types.Var); ok {
+				if have, ok := st[f]; ok {
+					t.Union(have)
+				}
+				if secretNamedVar(f) {
+					t.Set(taintBitSecret)
+				}
+			}
+			return t
+		}
+		// Qualified identifier pkg.Var.
+		if obj := ts.objOf(v.Sel); obj != nil {
+			if have, ok := st[obj]; ok {
+				return have.Clone()
+			}
+		}
+		return empty
+	case *ast.CallExpr:
+		return ts.evalCall(v, st)
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.LAND, token.LOR:
+			ts.eval(v.X, st)
+			ts.eval(v.Y, st)
+			return empty // comparisons yield booleans, not bytes
+		}
+		t := ts.eval(v.X, st).Clone()
+		t.Union(ts.eval(v.Y, st))
+		return t
+	case *ast.UnaryExpr:
+		return ts.eval(v.X, st)
+	case *ast.StarExpr:
+		return ts.eval(v.X, st)
+	case *ast.ParenExpr:
+		return ts.eval(v.X, st)
+	case *ast.IndexExpr:
+		return ts.eval(v.X, st)
+	case *ast.IndexListExpr:
+		return ts.eval(v.X, st)
+	case *ast.SliceExpr:
+		return ts.eval(v.X, st)
+	case *ast.TypeAssertExpr:
+		return ts.eval(v.X, st)
+	case *ast.KeyValueExpr:
+		return ts.eval(v.Value, st)
+	case *ast.CompositeLit:
+		t := NewBitSet(0)
+		for _, elt := range v.Elts {
+			et := ts.eval(elt, st)
+			ts.checkResponseLit(v, elt, et)
+			t.Union(et)
+		}
+		return t
+	case *ast.FuncLit:
+		ts.scanFuncLit(v, st)
+		return empty
+	}
+	return empty
+}
+
+// scanFuncLit analyzes a function literal's body with the taint facts at
+// its creation point (report mode only — a documented summary limit).
+func (ts *taintScan) scanFuncLit(lit *ast.FuncLit, st taintState) {
+	if ts.emit == nil {
+		return
+	}
+	g := BuildLitCFG(lit)
+	if g == nil {
+		return
+	}
+	sub := &taintScan{
+		prog:      ts.prog,
+		pkg:       ts.pkg,
+		fn:        ts.fn,
+		summaries: ts.summaries,
+		emit:      ts.emit,
+		entry:     cloneTaint(st),
+	}
+	Forward(g, FlowProblem[taintState](sub))
+}
+
+// evalCall handles conversions, builtins, sanitizers, the big.Int
+// arithmetic cut, sinks, and summarized module callees.
+func (ts *taintScan) evalCall(call *ast.CallExpr, st taintState) *BitSet {
+	empty := NewBitSet(0)
+	// Type conversion: preserves bytes.
+	if tv, ok := ts.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		t := NewBitSet(0)
+		for _, arg := range call.Args {
+			t.Union(ts.eval(arg, st))
+		}
+		return t
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := ts.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "append":
+				t := NewBitSet(0)
+				for _, arg := range call.Args {
+					t.Union(ts.eval(arg, st))
+				}
+				return t
+			case "copy":
+				if len(call.Args) == 2 {
+					src := ts.eval(call.Args[1], st)
+					if base := rootIdent(call.Args[0]); base != nil && src.Count() > 0 {
+						if obj := ts.objOf(base); obj != nil {
+							ts.taintObj(obj, src, st)
+						}
+					}
+				}
+				return empty
+			default:
+				for _, arg := range call.Args {
+					ts.eval(arg, st)
+				}
+				return empty
+			}
+		}
+	}
+
+	fn := calleeFunc(ts.pkg.Info, call)
+
+	// Receiver taint for method calls.
+	var recvT *BitSet
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := ts.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recvT = ts.eval(sel.X, st)
+		}
+	}
+	argT := make([]*BitSet, len(call.Args))
+	for i, arg := range call.Args {
+		argT[i] = ts.eval(arg, st)
+	}
+
+	// Sanitizers: hashing/ciphering launders secrets.
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "crypto/sha256", "crypto/sha512", "crypto/sha1", "crypto/md5",
+			"crypto/hmac", "crypto/subtle", "crypto/aes", "crypto/cipher",
+			"crypto/rand", "hash", "hash/fnv", "hash/maphash":
+			return empty
+		case "math/big":
+			return bigIntTaint(fn, recvT, argT)
+		}
+	}
+
+	// Sinks.
+	if kind, sinkArgs := ts.sinkOf(call, fn); kind != "" {
+		for _, i := range sinkArgs {
+			if i < 0 || i >= len(argT) {
+				continue
+			}
+			t := argT[i]
+			if ts.emit != nil && t.Has(taintBitSecret) {
+				ts.emit(call.Args[i].Pos(), "secret-derived value reaches %s sink", kind)
+			}
+			if ts.sinkHits != nil {
+				for s := range ts.slots {
+					if t.Has(s + 1) {
+						ts.sinkHits.Set(s)
+						if _, ok := ts.sinkKinds[s]; !ok {
+							ts.sinkKinds[s] = kind
+						}
+					}
+				}
+			}
+		}
+		return empty
+	}
+
+	// Module callee with a computed summary.
+	if fn != nil && ts.summaries != nil {
+		if sum, ok := ts.summaries[fn]; ok && sum != nil {
+			out := NewBitSet(0)
+			if sum.resultSecret {
+				out.Set(taintBitSecret)
+			}
+			slotTaints := callSlotTaints(fn, recvT, argT)
+			for i, t := range slotTaints {
+				if i >= len(sum.flows) {
+					break
+				}
+				if t == nil {
+					continue
+				}
+				if sum.flows[i] {
+					out.Union(t)
+				}
+				if sum.sinks[i] != "" && t.Has(taintBitSecret) {
+					pos := call.Pos()
+					if ts.emit != nil {
+						ts.emit(pos, "secret-derived value passed to %s, which feeds it to a %s sink", fn.Name(), sum.sinks[i])
+					}
+					if ts.sinkHits != nil {
+						for s := range ts.slots {
+							if t.Has(s + 1) {
+								ts.sinkHits.Set(s)
+								if _, ok := ts.sinkKinds[s]; !ok {
+									ts.sinkKinds[s] = sum.sinks[i]
+								}
+							}
+						}
+					}
+				}
+			}
+			return out
+		}
+	}
+
+	// Unknown callee: conservative propagation, no sink.
+	t := NewBitSet(0)
+	if recvT != nil {
+		t.Union(recvT)
+	}
+	for _, a := range argT {
+		t.Union(a)
+	}
+	return t
+}
+
+// bigIntTaint implements the big.Int discipline: serialization keeps
+// taint, Set-style copies propagate their inputs, and modular arithmetic
+// is a sanitizer (Slicer's trapdoor permutation and accumulator outputs
+// are algebraically blinded).
+func bigIntTaint(fn *types.Func, recvT *BitSet, argT []*BitSet) *BitSet {
+	name := fn.Name()
+	serializers := map[string]bool{
+		"Bytes": true, "FillBytes": true, "String": true, "Text": true,
+		"Append": true, "AppendText": true, "MarshalText": true,
+		"MarshalJSON": true, "GobEncode": true, "Bits": true,
+	}
+	union := func(with *BitSet) *BitSet {
+		t := NewBitSet(0)
+		if with != nil {
+			t.Union(with)
+		}
+		for _, a := range argT {
+			t.Union(a)
+		}
+		return t
+	}
+	switch {
+	case serializers[name]:
+		return union(recvT)
+	case strings.HasPrefix(name, "Set"), name == "Neg", name == "Abs":
+		return union(nil)
+	}
+	return NewBitSet(0)
+}
+
+// callSlotTaints lines up receiver/argument taints with the callee's
+// parameter slots (receiver first; variadic extras fold into the last).
+func callSlotTaints(fn *types.Func, recvT *BitSet, argT []*BitSet) []*BitSet {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	n := sig.Params().Len()
+	off := 0
+	if sig.Recv() != nil {
+		off = 1
+	}
+	slots := make([]*BitSet, off+n)
+	if off == 1 {
+		slots[0] = recvT
+	}
+	for j, t := range argT {
+		i := j
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			break
+		}
+		if slots[off+i] == nil {
+			slots[off+i] = NewBitSet(0)
+		}
+		slots[off+i].Union(t)
+	}
+	return slots
+}
+
+// sinkOf classifies a call as an observable sink, returning the sink kind
+// and the indices of the arguments that leak.
+func (ts *taintScan) sinkOf(call *ast.CallExpr, fn *types.Func) (string, []int) {
+	allArgs := func() []int {
+		idx := make([]int, len(call.Args))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	tailArgs := func(from int) []int {
+		var idx []int
+		for i := from; i < len(call.Args); i++ {
+			idx = append(idx, i)
+		}
+		return idx
+	}
+	if fn == nil {
+		return "", nil
+	}
+	name := fn.Name()
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+
+	switch pkgPath {
+	case "fmt":
+		switch {
+		case name == "Errorf":
+			return "error-value", allArgs()
+		case strings.HasPrefix(name, "Fprint"):
+			return "log", tailArgs(1)
+		case strings.HasPrefix(name, "Print"):
+			return "log", allArgs()
+		}
+		return "", nil // Sprint* propagates via the default path... (handled below)
+	case "errors":
+		if name == "New" {
+			return "error-value", allArgs()
+		}
+		return "", nil
+	case "log":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic") || name == "Output" {
+			return "log", allArgs()
+		}
+		return "", nil
+	case "log/slog":
+		if isMethod {
+			switch name {
+			case "Debug", "Info", "Warn", "Error", "Log", "LogAttrs",
+				"DebugContext", "InfoContext", "WarnContext", "ErrorContext", "With":
+				return "log", allArgs()
+			}
+			return "", nil
+		}
+		switch name {
+		case "Debug", "Info", "Warn", "Error", "Log", "LogAttrs", "With":
+			return "log", allArgs()
+		case "String", "Any", "Bool", "Int", "Int64", "Uint64", "Float64", "Time", "Duration", "Group", "StringValue", "AnyValue":
+			return "log", tailArgs(0)
+		}
+		return "", nil
+	}
+
+	// Metric label values: series names are public observability surface.
+	if isMethod && name == "WithLabelValues" {
+		return "metric-label", allArgs()
+	}
+	if !isMethod && name == "Label" && pkgBase(pkgPath) == "obs" {
+		return "metric-label", allArgs()
+	}
+
+	// Audit record bodies: the ledger is an append-only, exportable log.
+	if isMethod && (name == "Log" || name == "Append") {
+		for _, tn := range namedTypeNames(sig.Recv().Type()) {
+			if strings.Contains(tn, "Ledger") {
+				return "audit-record", allArgs()
+			}
+			if strings.Contains(tn, "Logger") {
+				return "log", allArgs()
+			}
+		}
+	}
+	// Any *Logger method of a level-method shape (slog-like wrappers).
+	if isMethod {
+		switch name {
+		case "Debug", "Info", "Warn", "Error":
+			for _, tn := range namedTypeNames(sig.Recv().Type()) {
+				if strings.Contains(tn, "Logger") {
+					return "log", allArgs()
+				}
+			}
+		}
+	}
+
+	// World-readable file writes: WriteFile-style calls whose constant
+	// mode argument exceeds 0600.
+	if strings.Contains(name, "WriteFile") {
+		if perm, permIdx, ok := ts.constPermArg(call); ok && perm > 0o600 {
+			var idx []int
+			for i := range call.Args {
+				if i != permIdx {
+					idx = append(idx, i)
+				}
+			}
+			return fmt.Sprintf("world-readable file (mode %#o)", perm), idx
+		}
+	}
+	return "", nil
+}
+
+// constPermArg finds a constant integer argument that looks like a file
+// mode (the last constant int arg), returning its value and index.
+func (ts *taintScan) constPermArg(call *ast.CallExpr) (int64, int, bool) {
+	for i := len(call.Args) - 1; i >= 0; i-- {
+		tv, ok := ts.pkg.Info.Types[call.Args[i]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			continue
+		}
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return v, i, true
+		}
+	}
+	return 0, -1, false
+}
+
+func (ts *taintScan) objOf(id *ast.Ident) types.Object {
+	if obj := ts.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return ts.pkg.Info.Defs[id]
+}
+
+// rootIdent returns the base identifier under parens, stars, indexes,
+// slices and selectors (x in (*x.f)[i]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// funcSlots returns the parameter slots of a declared function: receiver
+// first, then parameters in order.
+func funcSlots(fn *types.Func) []*types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var slots []*types.Var
+	if r := sig.Recv(); r != nil {
+		slots = append(slots, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		slots = append(slots, sig.Params().At(i))
+	}
+	return slots
+}
+
+// taintSummaries computes (once per Program) the module-wide function
+// summaries by iterating per-function dataflow to an interprocedural
+// fixpoint.
+func taintSummaries(prog *Program) map[*types.Func]*taintSummary {
+	return prog.Cached("secrettaint.summaries", func() any {
+		sums := make(map[*types.Func]*taintSummary)
+		// The cap bounds pathological call chains; the loop exits as soon
+		// as a round changes nothing, so the common cost is 2-3 rounds.
+		// Module-wide chains (PRF state -> collect -> hash -> error) need
+		// more rounds than a single package does — keep this high enough
+		// that whole-module runs converge to the same findings as
+		// per-package gate tests.
+		for round := 0; round < 16; round++ {
+			changed := false
+			for _, pkg := range prog.Pkgs {
+				for _, node := range prog.Funcs(pkg) {
+					g := node.CFG()
+					if g == nil {
+						continue
+					}
+					slots := funcSlots(node.Fn)
+					ts := &taintScan{
+						prog:      prog,
+						pkg:       node.Pkg,
+						fn:        node,
+						slots:     slots,
+						summaries: sums,
+						sinkHits:  NewBitSet(len(slots)),
+						sinkKinds: make(map[int]string),
+						retTaint:  NewBitSet(len(slots) + 1),
+					}
+					Forward(g, FlowProblem[taintState](ts))
+					sum := &taintSummary{
+						flows:        make([]bool, len(slots)),
+						sinks:        make([]string, len(slots)),
+						resultSecret: ts.retTaint.Has(taintBitSecret),
+					}
+					for i := range slots {
+						sum.flows[i] = ts.retTaint.Has(i + 1)
+						sum.sinks[i] = ts.sinkKinds[i]
+					}
+					if prev, ok := sums[node.Fn]; !ok || !sum.equal(prev) {
+						sums[node.Fn] = sum
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		return sums
+	}).(map[*types.Func]*taintSummary)
+}
+
+func runSecretTaint(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		prog = NewProgram([]*Package{pass.Pkg})
+	}
+	sums := taintSummaries(prog)
+	for _, node := range prog.Funcs(pass.Pkg) {
+		g := node.CFG()
+		if g == nil {
+			continue
+		}
+		reported := make(map[string]bool)
+		emit := func(pos token.Pos, format string, args ...any) {
+			key := fmt.Sprintf("%d|%s", pos, fmt.Sprintf(format, args...))
+			if reported[key] {
+				return
+			}
+			reported[key] = true
+			pass.Reportf(pos, format, args...)
+		}
+		ts := &taintScan{
+			prog:        prog,
+			pkg:         pass.Pkg,
+			fn:          node,
+			slots:       funcSlots(node.Fn),
+			summaries:   sums,
+			seedSecrets: true,
+			emit:        emit,
+		}
+		Forward(g, FlowProblem[taintState](ts))
+	}
+}

@@ -1,0 +1,94 @@
+// Package wire is an ackorder fixture: the analyzer only runs in wire
+// packages, on handle*-named methods, and requires a durable journal
+// append to dominate every success response after a state mutation.
+package wire
+
+import "errors"
+
+// journal stands in for the durability journal; its name makes receiver
+// expressions journalish and commit a durable append.
+type journal struct {
+	recs [][]byte
+}
+
+func (j *journal) commit(rec []byte) error {
+	j.recs = append(j.recs, rec)
+	return nil
+}
+
+// state carries the acknowledged server state; ApplyUpdate and Step are
+// recognized mutation entry points.
+type state struct {
+	n uint64
+}
+
+func (s *state) ApplyUpdate(rec []byte) { s.n++ }
+
+func (s *state) Step(rec []byte) { s.n++ }
+
+type server struct {
+	jour *journal
+	st   *state
+}
+
+// persist journals through a helper; the journaler summary marks it.
+func (s *server) persist(rec []byte) error {
+	return s.jour.commit(rec)
+}
+
+// handleGood journals before acking; clean.
+func (s *server) handleGood(req []byte) (any, error) {
+	s.st.ApplyUpdate(req)
+	if err := s.jour.commit(req); err != nil {
+		return nil, err
+	}
+	return "ok", nil
+}
+
+// handleLossy acks a mutation that was never journaled.
+func (s *server) handleLossy(req []byte) (any, error) {
+	s.st.ApplyUpdate(req)
+	return "applied", nil // want `success response returned on a path where state was mutated \(mutated at line \d+\) without a durable journal append dominating it`
+}
+
+// handleBranchy journals on only one path; the join kills dominance.
+func (s *server) handleBranchy(req []byte, fast bool) (any, error) {
+	s.st.Step(req)
+	if !fast {
+		if err := s.jour.commit(req); err != nil {
+			return nil, err
+		}
+	}
+	return "ok", nil // want `success response returned on a path where state was mutated \(mutated at line \d+\) without a durable journal append dominating it`
+}
+
+// handleOptional runs without durability when the journal is nil; the
+// nil-branch is exempt and the non-nil branch journals, so every path to
+// the ack is safe.
+func (s *server) handleOptional(req []byte) (any, error) {
+	s.st.ApplyUpdate(req)
+	if s.jour != nil {
+		if err := s.jour.commit(req); err != nil {
+			return nil, err
+		}
+	}
+	return "ok", nil
+}
+
+// handleViaHelper journals through the persist helper; the call-graph
+// summary covers the ack.
+func (s *server) handleViaHelper(req []byte) (any, error) {
+	s.st.ApplyUpdate(req)
+	if err := s.persist(req); err != nil {
+		return nil, err
+	}
+	return "ok", nil
+}
+
+// handleDryRun mutates nothing, so the bare success ack is fine.
+func (s *server) handleDryRun(req []byte) (any, error) {
+	if len(req) == 0 {
+		return nil, errors.New("wire: empty request")
+	}
+	return "no-op", nil
+}

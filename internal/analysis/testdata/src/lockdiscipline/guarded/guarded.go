@@ -1,0 +1,106 @@
+// Package guarded is a lockdiscipline fixture for guarded-field
+// inference and lock imbalance: the locked accessors establish which
+// fields the mutex guards, and the analyzer flags the accesses and
+// paths that break the discipline.
+package guarded
+
+import (
+	"errors"
+	"sync"
+)
+
+// Counter guards its state with an RWMutex; Set/Get establish the
+// discipline, the other methods break it.
+type Counter struct {
+	mu    sync.RWMutex
+	n     int
+	name  string
+	ready chan struct{} // channel fields synchronize themselves; exempt
+}
+
+// Set writes under the write lock (inference: n and name are guarded).
+func (c *Counter) Set(n int, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = n
+	c.name = name
+}
+
+// Get reads under the read lock (inference: n has locked readers).
+func (c *Counter) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// RacyBump writes a guarded field without any lock.
+func (c *Counter) RacyBump() {
+	c.n++ // want `write to n without holding Counter.mu`
+}
+
+// RacyPeek reads a field with locked readers and writers, unlocked.
+func (c *Counter) RacyPeek() int {
+	return c.n // want `read of n without holding Counter.mu`
+}
+
+// snapshotLocked is caller-locked by convention; never flagged.
+func (c *Counter) snapshotLocked() int {
+	return c.n
+}
+
+// helper is an unexported lock-free method: assumed caller-locked.
+func (c *Counter) helper() int {
+	return c.n
+}
+
+// LeakyGet returns early while still holding the lock.
+func (c *Counter) LeakyGet(ok bool) (int, error) {
+	c.mu.RLock()
+	if !ok {
+		return 0, errors.New("not ready") // want `returns while still holding c.mu`
+	}
+	n := c.n
+	c.mu.RUnlock()
+	return n, nil
+}
+
+// DoubleLock deadlocks against itself.
+func (c *Counter) DoubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want `Lock of c.mu while it is already write-held`
+	c.n = 1
+}
+
+// Upgrade takes the write lock while read-locked.
+func (c *Counter) Upgrade() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.mu.Lock() // want `write-Lock of c.mu while it is read-held`
+	c.n = 2
+	c.mu.Unlock()
+}
+
+// StrayUnlock releases a lock this path never acquired.
+func (c *Counter) StrayUnlock(ok bool) {
+	if ok {
+		c.mu.Lock()
+		c.n = 3
+		c.mu.Unlock()
+	}
+	c.mu.Unlock() // want `Unlock of c.mu which is not held on any path`
+}
+
+// BalancedBranches locks and unlocks consistently on both arms; clean.
+func (c *Counter) BalancedBranches(fast bool) int {
+	if fast {
+		c.mu.RLock()
+		n := c.n
+		c.mu.RUnlock()
+		return n
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}

@@ -1,0 +1,73 @@
+// Package order is a lockdiscipline fixture for lock-order inversions:
+// two mutexes acquired in both orders across different functions form a
+// potential deadlock cycle, reported at the earliest acquisition site of
+// each direction. The Journal/State pair mirrors the durability layer's
+// journal-vs-state ordering and flows through a module-callee summary.
+package order
+
+import "sync"
+
+// Registry and Index form the plain inversion pair.
+type Registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Index struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Swap acquires Registry.mu then Index.mu.
+func Swap(r *Registry, ix *Index) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ix.mu.Lock() // want `lock order inversion: Index.mu acquired while holding Registry.mu here, but the opposite order exists elsewhere \(potential deadlock\)`
+	defer ix.mu.Unlock()
+	ix.m["n"] = r.n
+}
+
+// SwapBack acquires the same pair in the opposite order.
+func SwapBack(r *Registry, ix *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	r.mu.Lock() // want `lock order inversion: Registry.mu acquired while holding Index.mu here, but the opposite order exists elsewhere \(potential deadlock\)`
+	defer r.mu.Unlock()
+	r.n = len(ix.m)
+}
+
+// Journal and State mirror the durability layer's mutex pair.
+type Journal struct {
+	mu   sync.Mutex
+	recs []string
+}
+
+type State struct {
+	mu sync.Mutex
+	h  string
+}
+
+// append locks the journal mutex itself; callers inherit the acquisition
+// through its lock summary.
+func (j *Journal) append(rec string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = append(j.recs, rec)
+}
+
+// Commit holds the state mutex and acquires the journal mutex through a
+// module callee.
+func Commit(j *Journal, st *State) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.append(st.h) // want `lock order inversion: Journal.mu acquired while holding State.mu here, but the opposite order exists elsewhere \(potential deadlock\); the durability contract orders the journal mutex against state mutexes one way only`
+}
+
+// Replay acquires the journal mutex first, then the state mutex.
+func Replay(j *Journal, st *State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st.mu.Lock() // want `lock order inversion: State.mu acquired while holding Journal.mu here, but the opposite order exists elsewhere \(potential deadlock\); the durability contract orders the journal mutex against state mutexes one way only`
+	st.h = "replayed"
+	st.mu.Unlock()
+}

@@ -1,0 +1,92 @@
+// Package prf is a secrettaint fixture mirroring one of Slicer's crypto
+// packages (matched by the final import-path element): parameters and
+// fields with key-material names are taint sources here, hashing
+// sanitizes, big-integer arithmetic blinds, and serialization keeps the
+// taint alive.
+package prf
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"log"
+	"math/big"
+)
+
+// Key is secret by the type rule (type named Key inside package prf).
+type Key struct {
+	k []byte
+}
+
+// LogKey leaks the raw key parameter to the process log.
+func LogKey(key []byte) {
+	log.Printf("prf key: %x", key) // want `secret-derived value reaches log sink`
+}
+
+// KeyErr formats key material into an error value.
+func KeyErr(key []byte) error {
+	return fmt.Errorf("bad key %x", key) // want `secret-derived value reaches error-value sink`
+}
+
+// Digest launders the key through SHA-256 before logging; clean.
+func Digest(key []byte) {
+	sum := sha256.Sum256(key)
+	log.Printf("key digest: %x", sum)
+}
+
+// Flow tracks taint through append and a string conversion.
+func Flow(key []byte) error {
+	buf := append([]byte("hdr: "), key...)
+	return errors.New(string(buf)) // want `secret-derived value reaches error-value sink`
+}
+
+// FieldLeak reads the secret field through the receiver.
+func (k Key) FieldLeak() {
+	fmt.Println(k.k) // want `secret-derived value reaches log sink`
+}
+
+// Blinded output of modular exponentiation (the trapdoor permutation) is
+// sanitized even though the exponent is secret; clean.
+func Blinded(phi *big.Int, x *big.Int) {
+	y := new(big.Int).Exp(x, x, phi)
+	fmt.Println(y.String())
+}
+
+// SerializedSecret renders the secret big integer directly; the
+// serialization keeps the taint.
+func SerializedSecret(phi *big.Int) {
+	fmt.Println(phi.String()) // want `secret-derived value reaches log sink`
+}
+
+// BranchLeak only leaks on one CFG path; flow sensitivity still finds it.
+func BranchLeak(key []byte, debug bool) {
+	msg := []byte("ready")
+	if debug {
+		msg = key
+	}
+	log.Printf("state: %x", msg) // want `secret-derived value reaches log sink`
+}
+
+// Rebound shows a strong update: after reassignment the variable is
+// clean, so logging it is fine.
+func Rebound(key []byte) {
+	buf := key
+	buf = []byte("public banner")
+	log.Printf("banner: %s", buf)
+}
+
+// Allowed documents an intentional dump; the directive suppresses it.
+func Allowed(key []byte) {
+	//slicer:allow secrettaint -- test-vector dump compiled out of release builds
+	log.Printf("debug key: %x", key)
+}
+
+// AllowedMultiline wraps the suppressed statement across lines; the
+// directive covers the statement's whole span, so the diagnostic at the
+// tainted argument two lines down is silenced too.
+func AllowedMultiline(key []byte) {
+	//slicer:allow secrettaint -- test-vector dump compiled out of release builds
+	log.Printf("prf schedule:\n  k=%x\n  rounds=%d",
+		key,
+		10)
+}

@@ -1,0 +1,83 @@
+// Package vault is a secrettaint fixture outside the crypto package set:
+// here only the type-based source rule applies (any type whose name
+// contains "Secret"), and the interprocedural summaries carry taint
+// through helpers, function literals see the facts at their creation
+// point, and world-readable file writes are sinks.
+package vault
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// SecretKey is a module-wide taint source by its type name.
+type SecretKey struct {
+	D []byte
+}
+
+// PublicKey is explicitly not secret despite living next to one.
+type PublicKey struct {
+	N []byte
+}
+
+// describe returns its input unchanged; the summary records the flow.
+func describe(b []byte) []byte {
+	return b
+}
+
+// emit logs its argument; the summary records the sink so callers are
+// reported at the call site.
+func emit(b []byte) {
+	log.Printf("payload: %x", b)
+}
+
+// Leak flows the secret through a helper and into a logging helper.
+func Leak(sk SecretKey) {
+	body := describe(sk.D)
+	emit(body) // want `secret-derived value passed to emit, which feeds it to a log sink`
+}
+
+// PublicPath does the same dance with public material; clean.
+func PublicPath(pk PublicKey) {
+	emit(describe(pk.N))
+}
+
+// Closure captures the secret and logs it when invoked.
+func Closure(sk SecretKey) func() {
+	return func() {
+		fmt.Printf("sk=%x\n", sk.D) // want `secret-derived value reaches log sink`
+	}
+}
+
+// Export writes key material world-readable.
+func Export(sk SecretKey, path string) error {
+	return os.WriteFile(path, sk.D, 0o644) // want `secret-derived value reaches world-readable file \(mode 0644\) sink`
+}
+
+// ExportPrivate writes the same material mode 0600; clean.
+func ExportPrivate(sk SecretKey, path string) error {
+	return os.WriteFile(path, sk.D, 0o600)
+}
+
+// Gauge mimics a metric vector; label values are public series names.
+type Gauge struct{}
+
+// WithLabelValues is the metric-label sink shape.
+func (g *Gauge) WithLabelValues(values ...string) *Gauge { return g }
+
+// Series puts secret bytes into a metric label.
+func Series(g *Gauge, sk SecretKey) {
+	g.WithLabelValues(string(sk.D)) // want `secret-derived value reaches metric-label sink`
+}
+
+// Ledger mimics the audit ledger; record bodies are exported evidence.
+type Ledger struct{}
+
+// Log is the audit-record sink shape.
+func (l *Ledger) Log(detail string) {}
+
+// Audit puts secret bytes into an audit record body.
+func Audit(l *Ledger, sk SecretKey) {
+	l.Log(fmt.Sprintf("rotated key %x", sk.D)) // want `secret-derived value reaches audit-record sink`
+}

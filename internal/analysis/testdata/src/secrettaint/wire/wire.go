@@ -1,0 +1,42 @@
+// Package wire is a secrettaint fixture for the RPC trust boundary:
+// response payload fields, response composite literals, and handle*
+// return values must never carry secret-derived bytes.
+package wire
+
+import "encoding/json"
+
+// SecretKey marks its values as key material module-wide.
+type SecretKey struct {
+	D []byte
+}
+
+// Response is the wire envelope; matched by its type name.
+type Response struct {
+	Result json.RawMessage
+	Debug  string
+}
+
+// Server hosts the handlers.
+type Server struct {
+	sk SecretKey
+}
+
+// FillDebug assigns secret bytes into a response field.
+func (s *Server) FillDebug(resp *Response) {
+	resp.Debug = string(s.sk.D) // want `secret-derived value assigned to RPC response field Debug`
+}
+
+// BuildResponse puts secret bytes into a response literal.
+func (s *Server) BuildResponse() Response {
+	return Response{Debug: string(s.sk.D)} // want `secret-derived value placed in RPC response literal`
+}
+
+// handleDump returns the secret as the payload of an RPC result.
+func (s *Server) handleDump(params json.RawMessage) (any, error) {
+	return s.sk.D, nil // want `secret-derived value returned as RPC response payload from handleDump`
+}
+
+// handleStatus returns public data; clean.
+func (s *Server) handleStatus(params json.RawMessage) (any, error) {
+	return map[string]int{"connections": 3}, nil
+}

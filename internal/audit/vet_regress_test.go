@@ -7,11 +7,14 @@ import (
 	"slicer/internal/analysis"
 )
 
-// TestVetGatesOverAudit runs the errdrop and maporder analyzers as a library
-// over this package, mirroring the durable engine's gate. An audit ledger
-// that drops an append or fsync error silently is worse than no ledger — it
-// reports a clean chain over records that never hit disk — and replay order
-// must never depend on map iteration.
+// TestVetGatesOverAudit runs the errdrop, maporder and flow-sensitive
+// analyzers as a library over this package, mirroring the durable engine's
+// gate. An audit ledger that drops an append or fsync error silently is
+// worse than no ledger — it reports a clean chain over records that never
+// hit disk — replay order must never depend on map iteration, record
+// bodies are exported evidence that must never carry key material
+// (secrettaint's audit-record sink), and the ledger's mutex discipline
+// holds on every path.
 func TestVetGatesOverAudit(t *testing.T) {
 	root, err := analysis.FindModuleRoot(".")
 	if err != nil {
@@ -34,6 +37,8 @@ func TestVetGatesOverAudit(t *testing.T) {
 	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{
 		analysis.ErrDrop,
 		analysis.MapOrder,
+		analysis.SecretTaint,
+		analysis.LockDiscipline,
 	})
 	for _, d := range diags {
 		t.Errorf("slicer-vet gate violation in audit ledger: %s", d)

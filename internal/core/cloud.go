@@ -549,10 +549,13 @@ func (c *Cloud) collectResults(tok SearchToken) ([][]byte, error) {
 func (c *Cloud) witnessFor(tok SearchToken, er [][]byte) ([]byte, error) {
 	h := mhash.OfMultiset(er)
 	x := tokenPrime(tok.Trapdoor, tok.Epoch, tok.G1, tok.G2, h)
+	// Neither error below embeds the prime: it is PRF-derived from the
+	// token, and error strings travel into logs and wire responses where
+	// secrettaint (rightly) refuses to let key-derived bytes go.
 	key := string(x.Bytes())
 	idx, ok := c.primeSet[key]
 	if !ok {
-		return nil, fmt.Errorf("%w (prime %x...)", ErrUnknownToken, x.Bytes()[:4])
+		return nil, ErrUnknownToken
 	}
 	var w *big.Int
 	switch c.mode {
@@ -572,7 +575,7 @@ func (c *Cloud) witnessFor(tok SearchToken, er [][]byte) ([]byte, error) {
 		if errors.Is(err, accumulator.ErrNotMember) {
 			// Unreachable after the primeSet check above, but keep the typed
 			// branch so a future caller without that check degrades cleanly.
-			return nil, fmt.Errorf("%w (prime %x...)", ErrUnknownToken, x.Bytes()[:4])
+			return nil, ErrUnknownToken
 		}
 		if err != nil {
 			return nil, err

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"slicer/internal/analysis"
+)
+
+// TestVetGatesOverCore runs the flow-sensitive analyzers as a library over
+// this package, mirroring the contract package's constant-time gate. Core
+// owns the client's key material (PRF keys, trapdoor secrets, SORE
+// states): secrettaint keeps it out of logs, error values and serialized
+// payloads, and lockdiscipline keeps the shared client state race-free.
+func TestVetGatesOverCore(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash("internal/core")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("no package at internal/core")
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("typecheck: %v", terr)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{
+		analysis.SecretTaint,
+		analysis.LockDiscipline,
+	})
+	for _, d := range diags {
+		t.Errorf("slicer-vet gate violation in core: %s", d)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"path/filepath"
+	"testing"
+
+	"slicer/internal/analysis"
+)
+
+// TestVetGatesOverObs runs the flow-sensitive analyzers as a library over
+// this package, mirroring the contract package's constant-time gate. The
+// observability layer exports everything it touches — metric label
+// values, trace attributes, profile files — so secrettaint keeps key
+// material out of the exported surface, and lockdiscipline covers the
+// registry and trace stores the collectors hit concurrently.
+func TestVetGatesOverObs(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash("internal/obs")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("no package at internal/obs")
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("typecheck: %v", terr)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{
+		analysis.SecretTaint,
+		analysis.LockDiscipline,
+	})
+	for _, d := range diags {
+		t.Errorf("slicer-vet gate violation in obs: %s", d)
+	}
+}

@@ -191,10 +191,10 @@ func (cs *ChainServer) handleStep(_ json.RawMessage, tr *obs.Trace) (any, error)
 		// only in memory, so the step is reported failed and the journal
 		// is fail-stop from here on.
 		rec, jerr := chain.EncodeBlock(block)
-		if jerr == nil {
-			jerr = cs.jour.commit(rec, func() error { return nil }, cs.chainSnapshotStateLocked)
-		}
 		if jerr != nil {
+			return nil, fmt.Errorf("wire: block %d sealed but not journaled: %w", block.Header.Number, jerr)
+		}
+		if jerr := cs.jour.commit(rec, func() error { return nil }, cs.chainSnapshotStateLocked); jerr != nil {
 			return nil, fmt.Errorf("wire: block %d sealed but not journaled: %w", block.Header.Number, jerr)
 		}
 	}

@@ -23,7 +23,10 @@ func TestServerIdleTimeout(t *testing.T) {
 	if got := srv.IdleTimeout(); got != DefaultIdleTimeout {
 		t.Fatalf("default idle timeout = %v, want %v", got, DefaultIdleTimeout)
 	}
-	srv.SetIdleTimeout(50 * time.Millisecond)
+	// Generous margins: the active client below sleeps 100ms between
+	// calls against a 250ms window, so only a >150ms scheduler stall can
+	// false-fail this on a loaded CI runner.
+	srv.SetIdleTimeout(250 * time.Millisecond)
 	reg := obs.NewRegistry()
 	srv.SetMetrics(reg, "test")
 	addr, err := srv.Listen("127.0.0.1:0")
@@ -44,7 +47,7 @@ func TestServerIdleTimeout(t *testing.T) {
 		if err := active.Call("ping", nil, &out); err != nil {
 			t.Fatalf("active call %d: %v", i, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(100 * time.Millisecond)
 	}
 
 	// A stalled client is dropped: after the idle window the server closes

@@ -55,7 +55,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: slicer-cli <init|insert|search|status|probe|audit> [flags]")
+		return fmt.Errorf("usage: slicer-cli <init|insert|search|status|probe|audit|rebalance> [flags]")
 	}
 	switch args[0] {
 	case "init":
@@ -70,8 +70,10 @@ func run(args []string) error {
 		return cmdProbe(args[1:])
 	case "audit":
 		return cmdAudit(args[1:])
+	case "rebalance":
+		return cmdRebalance(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want init, insert, search, status, probe or audit)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want init, insert, search, status, probe, audit or rebalance)", args[0])
 	}
 }
 
@@ -447,6 +449,7 @@ func cmdStatus(args []string) error {
 	fmt.Printf("cloud %s: %d index entries (%d bytes), %d primes (%d bytes)\n",
 		st.CloudAddr, stats.IndexEntries, stats.IndexBytes, stats.Primes, stats.ADSBytes)
 	fmt.Printf("  served %d searches, up %.0fs\n", stats.SearchCalls, stats.UptimeSeconds)
+	printShardStatus(st.CloudAddr, dialOpts())
 	if w := stats.SearchWindow; w != nil && w.Count > 0 {
 		fmt.Printf("  search latency (last %.0fs, %d calls): p50 %s  p99 %s\n",
 			w.WindowSeconds, w.Count,

@@ -38,6 +38,9 @@ const (
 	KindProbe = "probe"
 	// KindSeal: a chain server sealed a block.
 	KindSeal = "seal"
+	// KindRebalance: a shard imported or deleted an address range during a
+	// routed range move (the two halves of the rebalance protocol).
+	KindRebalance = "rebalance"
 )
 
 // Record outcomes.

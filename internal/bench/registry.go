@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"ablation-durability", "WAL fsync overhead & cold-start recovery", (*Runner).AblationDurability},
 		{"ablation-observability", "Telemetry layer: windowed quantiles & overhead", (*Runner).AblationObservability},
 		{"ablation-audit", "Audit ledger: journaling overhead on search", (*Runner).AblationAudit},
+		{"ablation-shards", "Sharded cloud: 1 vs 3 shards behind the router", (*Runner).AblationShards},
 	}
 }
 

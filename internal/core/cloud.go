@@ -548,7 +548,13 @@ func (c *Cloud) collectResults(tok SearchToken) ([][]byte, error) {
 // produces its membership witness.
 func (c *Cloud) witnessFor(tok SearchToken, er [][]byte) ([]byte, error) {
 	h := mhash.OfMultiset(er)
-	x := tokenPrime(tok.Trapdoor, tok.Epoch, tok.G1, tok.G2, h)
+	return c.witnessForPrime(tokenPrime(tok.Trapdoor, tok.Epoch, tok.G1, tok.G2, h))
+}
+
+// witnessForPrime produces the membership witness for a prime
+// representative. Callers hold the read lock (WitnessForPrime wraps it for
+// the shard router; witnessFor rides inside a search request).
+func (c *Cloud) witnessForPrime(x *big.Int) ([]byte, error) {
 	// Neither error below embeds the prime: it is PRF-derived from the
 	// token, and error strings travel into logs and wire responses where
 	// secrettaint (rightly) refuses to let key-derived bytes go.

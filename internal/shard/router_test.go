@@ -1,0 +1,302 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"slicer/internal/core"
+	"slicer/internal/wire"
+	"slicer/internal/workload"
+)
+
+// fixture is one routed deployment next to the single cloud it must be
+// byte-identical to.
+type fixture struct {
+	owner  *core.Owner
+	user   *core.User
+	db     []core.Record
+	single *core.Cloud       // reference: one cloud holding the union index
+	router *Router           // embedded router over n shards
+	cli    *wire.CloudClient // a client speaking to the router as if it were one cloud
+	addr   string            // the router's listen address
+}
+
+// newFixture boots n shard cloud servers and a router, initializes them from
+// one owner, and builds the reference single cloud from the same state.
+func newFixture(t testing.TB, nShards, nRecords int, seed int64, opts Options) *fixture {
+	t.Helper()
+	params := core.Params{Bits: 8, TrapdoorBits: 256, AccumulatorBits: 256}
+	owner, err := core.NewOwner(params)
+	if err != nil {
+		t.Fatalf("NewOwner: %v", err)
+	}
+	db := workload.Generate(workload.Config{N: nRecords, Bits: 8, Seed: seed})
+	built, err := owner.Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	user, err := core.NewUser(owner.ClientState())
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	single, err := core.NewCloud(owner.CloudInit(built.Index), core.WitnessCached)
+	if err != nil {
+		t.Fatalf("NewCloud: %v", err)
+	}
+	var specs []ShardSpec
+	for i := 0; i < nShards; i++ {
+		srv := wire.NewCloudServer()
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("shard Listen: %v", err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		specs = append(specs, ShardSpec{ID: fmt.Sprintf("s%d", i+1), Addr: addr})
+	}
+	opts.Shards = specs
+	router, err := NewRouter(opts)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	addr, err := router.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("router Listen: %v", err)
+	}
+	t.Cleanup(func() { router.Close() })
+	cli, err := wire.DialCloud(addr)
+	if err != nil {
+		t.Fatalf("DialCloud(router): %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	if err := cli.Init(owner.CloudInit(built.Index), true); err != nil {
+		t.Fatalf("Init via router: %v", err)
+	}
+	return &fixture{owner: owner, user: user, db: db, single: single, router: router, cli: cli, addr: addr}
+}
+
+// mustEqualResponses asserts byte-identical JSON encodings — the exact bytes
+// a wire client receives.
+func mustEqualResponses(t testing.TB, got, want *core.SearchResponse) {
+	t.Helper()
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("marshal routed response: %v", err)
+	}
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal single response: %v", err)
+	}
+	if string(gj) != string(wj) {
+		t.Fatalf("routed response differs from single cloud:\n routed: %s\n single: %s", gj, wj)
+	}
+}
+
+func (f *fixture) checkQuery(t testing.TB, q core.Query) {
+	t.Helper()
+	req, err := f.user.Token(q)
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+	routed, routedErr := f.cli.Search(req)
+	want, wantErr := f.single.Search(req)
+	if (routedErr == nil) != (wantErr == nil) {
+		t.Fatalf("error divergence: routed=%v single=%v", routedErr, wantErr)
+	}
+	if wantErr != nil {
+		if routedErr.Error() != wantErr.Error() {
+			t.Fatalf("error text divergence: routed=%q single=%q", routedErr, wantErr)
+		}
+		return
+	}
+	mustEqualResponses(t, routed, want)
+	if err := core.VerifyResponse(f.owner.AccumulatorPub(), f.owner.Ac(), req, routed); err != nil {
+		t.Fatalf("routed response failed public verification: %v", err)
+	}
+	ids, err := f.user.Decrypt(routed)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	want2 := workload.Answer(f.db, q)
+	if len(ids) != len(want2) {
+		t.Fatalf("routed search returned %d ids, want %d", len(ids), len(want2))
+	}
+}
+
+// TestScatterGatherEquivalence is the property test of the acceptance
+// criteria: for shard counts 1, 2, 3 and 7, routed searches are
+// byte-identical to a single cloud and pass unmodified public verification.
+func TestScatterGatherEquivalence(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			f := newFixture(t, n, 50, int64(100+n), Options{Workers: 4})
+			rng := rand.New(rand.NewSource(int64(n)))
+			queries := []core.Query{
+				core.Less(1),
+				core.Less(128),
+				core.Less(255),
+				core.Greater(10),
+				core.Equal(f.db[0].Attrs[0].Value),
+				core.Equal(201), // likely no match / unknown keyword path
+			}
+			for i := 0; i < 4; i++ {
+				queries = append(queries, core.Less(uint64(rng.Intn(256))))
+			}
+			for _, q := range queries {
+				f.checkQuery(t, q)
+			}
+		})
+	}
+}
+
+// TestRoutedUpdateEquivalence inserts through the router and re-checks
+// equivalence: the delta must split by address while the ADS replicates.
+func TestRoutedUpdateEquivalence(t *testing.T) {
+	f := newFixture(t, 3, 40, 9, Options{Workers: 4})
+	for i := 0; i < 3; i++ {
+		up, err := f.owner.Insert([]core.Record{core.NewRecord(uint64(5000+i), uint64(40+i))})
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := f.cli.Update(up); err != nil {
+			t.Fatalf("Update via router: %v", err)
+		}
+		if err := f.single.ApplyUpdate(up); err != nil {
+			t.Fatalf("ApplyUpdate: %v", err)
+		}
+		f.db = append(f.db, core.NewRecord(uint64(5000+i), uint64(40+i)))
+	}
+	f.user.UpdateStates(f.owner.StatesSnapshot())
+	f.checkQuery(t, core.Less(255))
+	f.checkQuery(t, core.Equal(41))
+}
+
+// TestRebalanceEquivalence moves every arc of one shard onto another and
+// re-checks byte-identical search before, during is covered by the race
+// test, and after the move.
+func TestRebalanceEquivalence(t *testing.T) {
+	f := newFixture(t, 3, 60, 17, Options{Workers: 4})
+	f.checkQuery(t, core.Less(200))
+	table := f.router.Table()
+	src := table.Shards()[0]
+	dst := table.Shards()[1]
+	for _, rg := range table.Ranges(src) {
+		if _, err := f.router.Rebalance(rg[0], rg[1], dst, nil); err != nil {
+			t.Fatalf("Rebalance[%#x,%#x): %v", rg[0], rg[1], err)
+		}
+	}
+	after := f.router.Table()
+	if after.Epoch == table.Epoch {
+		t.Fatal("rebalance did not advance the table epoch")
+	}
+	for _, rg := range table.Ranges(src) {
+		if got := after.Lookup(rg[0]); got != dst {
+			t.Fatalf("moved arc %#x still owned by %q", rg[0], got)
+		}
+	}
+	f.checkQuery(t, core.Less(200))
+	f.checkQuery(t, core.Less(1))
+	f.checkQuery(t, core.Greater(0))
+}
+
+// TestSearchDuringRebalance is the race test: searches hammer the router
+// while ranges move between shards; zero searches may fail and every
+// response must verify. Run with -race.
+func TestSearchDuringRebalance(t *testing.T) {
+	f := newFixture(t, 3, 60, 23, Options{Workers: 4})
+	req, err := f.user.Token(core.Less(200))
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+	want, err := f.single.Search(req)
+	if err != nil {
+		t.Fatalf("single Search: %v", err)
+	}
+	wantJSON, _ := json.Marshal(want)
+
+	var stop atomic.Bool
+	var searches, failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := wire.DialCloud(f.addr)
+			if err != nil {
+				failures.Add(1)
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cli.Close()
+			for !stop.Load() {
+				resp, err := cli.Search(req)
+				searches.Add(1)
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("search during rebalance: %v", err)
+					return
+				}
+				got, _ := json.Marshal(resp)
+				if string(got) != string(wantJSON) {
+					failures.Add(1)
+					t.Error("search during rebalance diverged from single cloud")
+					return
+				}
+			}
+		}()
+	}
+	table := f.router.Table()
+	ids := table.Shards()
+	// Shuffle every arc of s1 to s2, then every arc of s2 to s3.
+	moves := 0
+	for hop := 0; hop < 2 && !t.Failed(); hop++ {
+		src, dst := ids[hop%len(ids)], ids[(hop+1)%len(ids)]
+		cur := f.router.Table()
+		for _, rg := range cur.Ranges(src) {
+			if _, err := f.router.Rebalance(rg[0], rg[1], dst, nil); err != nil {
+				t.Errorf("Rebalance: %v", err)
+				break
+			}
+			moves++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if moves == 0 {
+		t.Fatal("no moves executed")
+	}
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d in-flight searches failed", failures.Load(), searches.Load())
+	}
+	t.Logf("%d searches stayed correct across %d range moves", searches.Load(), moves)
+}
+
+// FuzzScatterGatherEquivalence drives random datasets, shard counts and
+// queries through the router and the reference cloud; any byte divergence
+// or verification failure is a crash.
+func FuzzScatterGatherEquivalence(f *testing.F) {
+	f.Add(uint8(3), uint8(20), int64(1), uint8(100), uint8(0))
+	f.Add(uint8(1), uint8(5), int64(2), uint8(0), uint8(1))
+	f.Add(uint8(7), uint8(30), int64(3), uint8(255), uint8(2))
+	f.Add(uint8(2), uint8(12), int64(4), uint8(42), uint8(0))
+	shardCounts := []int{1, 2, 3, 7}
+	f.Fuzz(func(t *testing.T, shardSel, nRec uint8, seed int64, val, op uint8) {
+		nShards := shardCounts[int(shardSel)%len(shardCounts)]
+		n := 5 + int(nRec)%40
+		fx := newFixture(t, nShards, n, seed, Options{Workers: 2, Batch: 4})
+		var q core.Query
+		switch op % 3 {
+		case 0:
+			q = core.Less(uint64(val%255) + 1)
+		case 1:
+			q = core.Greater(uint64(val))
+		default:
+			q = core.Equal(uint64(val))
+		}
+		fx.checkQuery(t, q)
+	})
+}

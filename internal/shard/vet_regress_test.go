@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"path/filepath"
+	"testing"
+
+	"slicer/internal/analysis"
+)
+
+// TestVetGatesOverShard runs the flow-sensitive analyzers as a library over
+// this package, mirroring the core and contract gates. The router handles
+// raw search tokens (PRF keys G1/G2) and the deployment's trapdoor key on
+// the scatter path: secrettaint keeps that material out of logs, error
+// values and journal records, and lockdiscipline keeps the routing-table /
+// move-window state race-free under concurrent searches and rebalances.
+func TestVetGatesOverShard(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash("internal/shard")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("no package at internal/shard")
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("typecheck: %v", terr)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{
+		analysis.SecretTaint,
+		analysis.LockDiscipline,
+	})
+	for _, d := range diags {
+		t.Errorf("slicer-vet gate violation in shard: %s", d)
+	}
+}

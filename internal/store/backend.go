@@ -1,0 +1,73 @@
+package store
+
+import "encoding/binary"
+
+// Addr projects a label into the 64-bit address space the shard placement
+// layer partitions: the label's first 8 bytes, big-endian. Labels are PRF
+// outputs, so addresses are uniformly distributed — the property that makes
+// the encrypted index shard cleanly by address range.
+func Addr(l Label) uint64 { return binary.BigEndian.Uint64(l[:8]) }
+
+// Backend is the contract between the encrypted index and everything that
+// stores or moves it: the in-memory dictionary (Index), the shard
+// rebalancer, and a future disk-backed store. All methods observe the
+// history-independence requirement — no implementation may retain insertion
+// order.
+//
+// Implementations are not required to be safe for concurrent use; callers
+// (core.Cloud) serialize access under their own locks.
+type Backend interface {
+	// Get looks up a label.
+	Get(l Label) (Payload, bool)
+	// Put inserts an entry; inserting a duplicate label is an error.
+	Put(l Label, d Payload) error
+	// Delete removes an entry, reporting whether it was present.
+	Delete(l Label) bool
+	// Len returns the number of entries.
+	Len() int
+	// Range calls f for every entry until f returns false. Iteration order
+	// is unspecified and must not encode insertion history.
+	Range(f func(l Label, d Payload) bool)
+	// RangeAddr calls f for every entry whose address (Addr) falls in
+	// [lo, hi) until f returns false. hi == 0 means the exclusive bound
+	// 2^64, so [0, 0) spans the whole address space. Iteration order is
+	// unspecified.
+	RangeAddr(lo, hi uint64, f func(l Label, d Payload) bool)
+}
+
+// Index implements Backend.
+var _ Backend = (*Index)(nil)
+
+// Delete removes an entry, reporting whether it was present.
+func (ix *Index) Delete(l Label) bool {
+	if _, ok := ix.m[l]; !ok {
+		return false
+	}
+	delete(ix.m, l)
+	return true
+}
+
+// Range calls f for every entry until f returns false. Iteration order is
+// Go map order: unspecified and history independent.
+func (ix *Index) Range(f func(l Label, d Payload) bool) {
+	for l, d := range ix.m {
+		if !f(l, d) {
+			return
+		}
+	}
+}
+
+// RangeAddr calls f for every entry whose address falls in [lo, hi) — with
+// hi == 0 read as 2^64 — until f returns false. The in-memory dictionary
+// has no address ordering, so this is a full scan; a disk-backed Backend
+// would serve it from a sorted structure.
+func (ix *Index) RangeAddr(lo, hi uint64, f func(l Label, d Payload) bool) {
+	for l, d := range ix.m {
+		if a := Addr(l); a < lo || (hi != 0 && a >= hi) {
+			continue
+		}
+		if !f(l, d) {
+			return
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func labelN(n uint64) Label {
+	var l Label
+	binary.BigEndian.PutUint64(l[:8], n)
+	l[EntrySize-1] = byte(n) // distinguish labels sharing an address prefix
+	return l
+}
+
+func payloadN(n uint64) Payload {
+	var p Payload
+	binary.BigEndian.PutUint64(p[:8], ^n)
+	return p
+}
+
+func TestBackendDeleteAndRange(t *testing.T) {
+	ix := NewIndex()
+	var b Backend = ix
+	for i := uint64(0); i < 16; i++ {
+		if err := b.Put(labelN(i<<60), payloadN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", b.Len())
+	}
+	if !b.Delete(labelN(3 << 60)) {
+		t.Fatal("Delete of present label reported absent")
+	}
+	if b.Delete(labelN(3 << 60)) {
+		t.Fatal("Delete of absent label reported present")
+	}
+	if _, ok := b.Get(labelN(3 << 60)); ok {
+		t.Fatal("deleted label still present")
+	}
+	seen := 0
+	b.Range(func(l Label, d Payload) bool {
+		if want := payloadN(Addr(l) >> 60); d != want {
+			t.Fatalf("Range payload mismatch at %x", l[:8])
+		}
+		seen++
+		return true
+	})
+	if seen != 15 {
+		t.Fatalf("Range visited %d entries, want 15", seen)
+	}
+	// Early termination.
+	seen = 0
+	b.Range(func(Label, Payload) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatalf("Range ignored early stop, visited %d", seen)
+	}
+}
+
+func TestBackendRangeAddr(t *testing.T) {
+	ix := NewIndex()
+	for i := uint64(0); i < 16; i++ {
+		if err := ix.Put(labelN(i<<60), payloadN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func(lo, hi uint64) int {
+		n := 0
+		ix.RangeAddr(lo, hi, func(Label, Payload) bool { n++; return true })
+		return n
+	}
+	if got := count(0, 0); got != 16 { // whole space: hi == 0 means 2^64
+		t.Fatalf("full-space RangeAddr visited %d, want 16", got)
+	}
+	if got := count(4<<60, 8<<60); got != 4 {
+		t.Fatalf("[4<<60,8<<60) visited %d, want 4", got)
+	}
+	if got := count(15<<60, 0); got != 1 { // top arc includes the max address
+		t.Fatalf("[15<<60,2^64) visited %d, want 1", got)
+	}
+	if got := count(1, 1<<60); got != 0 { // (addr 0 excluded, 1<<60 exclusive)
+		t.Fatalf("[1,1<<60) visited %d, want 0", got)
+	}
+}
+
+func TestAddrMatchesLabelPrefix(t *testing.T) {
+	l := labelN(0xdeadbeefcafef00d)
+	if Addr(l) != 0xdeadbeefcafef00d {
+		t.Fatalf("Addr = %x", Addr(l))
+	}
+}

@@ -175,6 +175,11 @@ func NewCloudServer() *CloudServer {
 	cs.srv.HandleMeta(MethodCloudUpdate, cs.handleUpdate)
 	cs.srv.HandleMeta(MethodCloudSearch, cs.handleSearch)
 	cs.srv.Handle(MethodCloudStats, cs.handleStats)
+	cs.srv.Handle(MethodCloudMGet, cs.handleMGet)
+	cs.srv.Handle(MethodCloudWitness, cs.handleWitness)
+	cs.srv.Handle(MethodCloudExport, cs.handleExport)
+	cs.srv.HandleMeta(MethodCloudImport, cs.handleImport)
+	cs.srv.HandleMeta(MethodCloudDelete, cs.handleDeleteRange)
 	return cs
 }
 

@@ -29,6 +29,10 @@ import (
 const (
 	cloudRecInit   byte = 1
 	cloudRecUpdate byte = 2
+	// cloudRecImport / cloudRecDelete journal the two state-mutating halves
+	// of a shard rebalance (cloud.import / cloud.deleteRange).
+	cloudRecImport byte = 3
+	cloudRecDelete byte = 4
 )
 
 // DurabilityOptions configures a server's data directory.
@@ -280,6 +284,31 @@ func (cs *CloudServer) replayCloudRecord(rec []byte) error {
 			return fmt.Errorf("wire: replay update: %w", err)
 		}
 		return cloud.ApplyUpdate(out)
+	case cloudRecImport:
+		cloud, err := cs.get()
+		if err != nil {
+			return fmt.Errorf("wire: replay import: %w", err)
+		}
+		var msg ImportMsg
+		if err := json.Unmarshal(rec[1:], &msg); err != nil {
+			return fmt.Errorf("wire: replay import: %w", err)
+		}
+		entries, err := decodeEntries(msg.Labels, msg.Payloads)
+		if err != nil {
+			return fmt.Errorf("wire: replay import: %w", err)
+		}
+		return cloud.ImportEntries(entries)
+	case cloudRecDelete:
+		cloud, err := cs.get()
+		if err != nil {
+			return fmt.Errorf("wire: replay delete: %w", err)
+		}
+		var msg DeleteRangeMsg
+		if err := json.Unmarshal(rec[1:], &msg); err != nil {
+			return fmt.Errorf("wire: replay delete: %w", err)
+		}
+		cloud.DeleteRange(msg.Lo, msg.Hi)
+		return nil
 	default:
 		return fmt.Errorf("wire: unknown WAL record type %d", rec[0])
 	}
